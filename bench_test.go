@@ -1,0 +1,95 @@
+package greencloud_test
+
+import (
+	"sync"
+	"testing"
+
+	"greencloud/internal/experiments"
+)
+
+// suite is shared across benchmarks: the synthetic catalog and the cached
+// sweeps are expensive to build, and sharing them mirrors how the paper's
+// evaluation reuses one dataset for every figure.
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func sharedSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.NewSuite(experiments.Config{Budget: experiments.Quick, Seed: 1})
+	})
+	if suiteErr != nil {
+		b.Fatalf("build experiment suite: %v", suiteErr)
+	}
+	return suite
+}
+
+// runExperiment benchmarks one table/figure generator and reports its rows
+// as a sanity check (an empty table means the experiment silently produced
+// nothing).
+func runExperiment(b *testing.B, id string) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := s.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s: experiment produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig3CapacityFactors regenerates the capacity-factor CDF (Fig. 3).
+func BenchmarkFig3CapacityFactors(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4PUECurve regenerates the PUE-vs-temperature curve (Fig. 4).
+func BenchmarkFig4PUECurve(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5PUEvsCF regenerates the PUE-vs-capacity-factor relation (Fig. 5).
+func BenchmarkFig5PUEvsCF(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable2GoodLocations regenerates Table II (good brown/solar/wind sites).
+func BenchmarkTable2GoodLocations(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig6SingleDCCostCDF regenerates the per-location cost CDF (Fig. 6).
+func BenchmarkFig6SingleDCCostCDF(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7CaseStudy regenerates the 50 MW / 50 % green cost breakdown (Fig. 7).
+func BenchmarkFig7CaseStudy(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8NetMetering regenerates cost vs. green % with net metering (Fig. 8).
+func BenchmarkFig8NetMetering(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Batteries regenerates cost vs. green % with batteries (Fig. 9).
+func BenchmarkFig9Batteries(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10NoStorage regenerates cost vs. green % without storage (Fig. 10).
+func BenchmarkFig10NoStorage(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11CapacityNetMeter regenerates capacity vs. green % with net metering (Fig. 11).
+func BenchmarkFig11CapacityNetMeter(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12CapacityNoStorage regenerates capacity vs. green % without storage (Fig. 12).
+func BenchmarkFig12CapacityNoStorage(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13MigrationImpact regenerates cost vs. migration overhead (Fig. 13).
+func BenchmarkFig13MigrationImpact(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkTable3NoStorageNetwork regenerates the 100 % green / no-storage network (Table III).
+func BenchmarkTable3NoStorageNetwork(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig15FollowRenewables regenerates the follow-the-renewables day trace (Fig. 15).
+func BenchmarkFig15FollowRenewables(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkSchedulerComputeTime measures the GreenNebula scheduler's
+// migration-schedule computation time (Section V-C).
+func BenchmarkSchedulerComputeTime(b *testing.B) { runExperiment(b, "sched-timing") }
+
+// BenchmarkHeuristicVsExactSmall compares the heuristic solver against the
+// exact MILP on a small instance (Section III-D).
+func BenchmarkHeuristicVsExactSmall(b *testing.B) { runExperiment(b, "heuristic-vs-exact") }

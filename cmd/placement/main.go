@@ -1,0 +1,90 @@
+// Command placement is the paper's siting and provisioning tool (Section
+// III): given a desired compute capacity, a minimum fraction of on-site
+// green energy, a storage technology and an availability target, it selects
+// datacenter locations from the synthetic world-wide catalog, sizes the
+// datacenters, solar/wind plants and batteries, and prints the solution and
+// its monthly cost breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greencloud/internal/core"
+	"greencloud/internal/energy"
+	"greencloud/internal/location"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "placement:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		capacityMW = flag.Float64("capacity-mw", 50, "required compute capacity in MW")
+		green      = flag.Float64("green", 0.5, "minimum fraction of yearly energy from on-site renewables (0..1)")
+		storage    = flag.String("storage", "netmeter", "green energy storage: netmeter, batteries or none")
+		sources    = flag.String("sources", "both", "allowed green sources: solar, wind or both")
+		avail      = flag.Float64("availability", 0.99999, "minimum network availability")
+		locations  = flag.Int("locations", 300, "number of candidate locations in the synthetic catalog")
+		seed       = flag.Int64("seed", 1, "random seed for the synthetic catalog and the search")
+		iterations = flag.Int("iterations", 80, "simulated annealing iterations per chain")
+		chains     = flag.Int("chains", 4, "parallel annealing chains")
+		filterKeep = flag.Int("filter", 30, "locations kept after the filtering stage")
+		migration  = flag.Float64("migration", 1.0, "fraction of an epoch migrated load is billed at both ends")
+	)
+	flag.Parse()
+
+	spec := core.DefaultSpec()
+	spec.TotalCapacityKW = *capacityMW * 1000
+	spec.MinGreenFraction = *green
+	spec.MinAvailability = *avail
+	spec.MigrationFraction = *migration
+	switch *storage {
+	case "netmeter":
+		spec.Storage = energy.NetMetering
+	case "batteries":
+		spec.Storage = energy.Batteries
+	case "none":
+		spec.Storage = energy.NoStorage
+	default:
+		return fmt.Errorf("unknown storage %q", *storage)
+	}
+	switch *sources {
+	case "solar":
+		spec.Sources = core.SolarOnly
+	case "wind":
+		spec.Sources = core.WindOnly
+	case "both":
+		spec.Sources = core.SolarAndWind
+	default:
+		return fmt.Errorf("unknown sources %q", *sources)
+	}
+
+	fmt.Printf("Generating %d candidate locations (seed %d)...\n", *locations, *seed)
+	cat, err := location.Generate(location.Options{Count: *locations, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Siting a %.0f MW network with ≥%.0f%% green energy (%s storage, %s)...\n",
+		*capacityMW, *green*100, spec.Storage, spec.Sources)
+
+	sol, err := core.Solve(cat, spec, core.SolveOptions{
+		FilterKeep:    *filterKeep,
+		Chains:        *chains,
+		MaxIterations: *iterations,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println(sol.Summary())
+	fmt.Println()
+	fmt.Printf("cost breakdown: %s\n", sol.Breakdown.String())
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package greencloud reproduces "Building Green Cloud Services at Low Cost"
+// (Berral, Goiri, Nguyen, Gavaldà, Torres, Bianchini — ICDCS 2014) as a Go
+// library.
+//
+// The repository has two public entry points:
+//
+//   - package placement sites and provisions a network of datacenters with
+//     on-site solar/wind plants and energy storage so that a desired
+//     fraction of the service's energy is green, at minimum monthly cost
+//     (the paper's framework, optimization problem and heuristic solver);
+//   - package renewables runs GreenNebula, the follow-the-renewables VM
+//     placement and migration system (hourly scheduler, live migration over
+//     an emulated WAN, GDFS distributed file system).
+//
+// Everything the paper's evaluation depends on — synthetic typical
+// meteorological years, PV and wind-turbine production models, the PUE
+// model, the cost model with financing and amortization, an LP/MILP solver,
+// simulated annealing, the within-datacenter VM manager and the emulated
+// wide-area network — is implemented from scratch under internal/.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-versus-paper results.
+package greencloud

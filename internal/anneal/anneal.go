@@ -1,0 +1,205 @@
+// Package anneal provides a generic simulated-annealing search with parallel
+// search instances that periodically exchange their best solutions, following
+// the heuristic solver described in Section II-C of the paper: several
+// annealing chains explore siting/provisioning neighbourhoods with different
+// move mixes on multiple cores and synchronize on the current best solution.
+package anneal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Config describes one annealing run over states of type S.  Energy is the
+// value being minimized.  Neighbor must return a new state and must not
+// mutate its argument.
+type Config[S any] struct {
+	// Initial is the starting state for every chain.
+	Initial S
+	// Energy evaluates a state; lower is better.  Infinite energy marks an
+	// infeasible state.
+	Energy func(S) float64
+	// Neighbor proposes a modified copy of the state using the chain's RNG.
+	Neighbor func(S, *rand.Rand) S
+
+	// InitialTemp is the starting temperature.  Zero selects a default
+	// derived from the initial energy.
+	InitialTemp float64
+	// CoolingRate is the geometric cooling factor per iteration (0,1);
+	// zero selects 0.995.
+	CoolingRate float64
+	// MinTemp stops a chain once the temperature drops below it
+	// (default 1e-6 × InitialTemp).
+	MinTemp float64
+	// MaxIterations caps the iterations per chain (default 2000).
+	MaxIterations int
+	// MaxStale stops a chain after this many consecutive iterations
+	// without improving its own best (default 300).
+	MaxStale int
+
+	// Chains is the number of parallel search instances (default 1).
+	Chains int
+	// SyncEvery is the number of iterations between best-solution
+	// exchanges among chains (default 50).
+	SyncEvery int
+	// Seed makes the run reproducible for a fixed number of chains.
+	Seed int64
+}
+
+// Result is the outcome of an annealing run.
+type Result[S any] struct {
+	// Best is the best state found across all chains.
+	Best S
+	// BestEnergy is its energy.
+	BestEnergy float64
+	// Iterations is the total number of iterations across chains.
+	Iterations int
+	// Evaluations is the total number of Energy calls.
+	Evaluations int
+}
+
+// ErrBadConfig reports a configuration that cannot be run.
+var ErrBadConfig = errors.New("anneal: Energy and Neighbor functions are required")
+
+func (c Config[S]) withDefaults() Config[S] {
+	if c.CoolingRate <= 0 || c.CoolingRate >= 1 {
+		c.CoolingRate = 0.995
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 2000
+	}
+	if c.MaxStale <= 0 {
+		c.MaxStale = 300
+	}
+	if c.Chains <= 0 {
+		c.Chains = 1
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 50
+	}
+	return c
+}
+
+// sharedBest is the synchronization point between chains.
+type sharedBest[S any] struct {
+	mu     sync.Mutex
+	state  S
+	energy float64
+	valid  bool
+}
+
+func (sb *sharedBest[S]) offer(state S, energy float64) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if !sb.valid || energy < sb.energy {
+		sb.state = state
+		sb.energy = energy
+		sb.valid = true
+	}
+}
+
+func (sb *sharedBest[S]) get() (S, float64, bool) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.state, sb.energy, sb.valid
+}
+
+// Run executes the annealing search and returns the best state found.
+func Run[S any](cfg Config[S]) (Result[S], error) {
+	var zero Result[S]
+	if cfg.Energy == nil || cfg.Neighbor == nil {
+		return zero, ErrBadConfig
+	}
+	cfg = cfg.withDefaults()
+
+	initialEnergy := cfg.Energy(cfg.Initial)
+	shared := &sharedBest[S]{}
+	shared.offer(cfg.Initial, initialEnergy)
+
+	initialTemp := cfg.InitialTemp
+	if initialTemp <= 0 {
+		initialTemp = math.Max(1, math.Abs(initialEnergy)*0.05)
+	}
+	minTemp := cfg.MinTemp
+	if minTemp <= 0 {
+		minTemp = initialTemp * 1e-6
+	}
+
+	type chainResult struct {
+		iterations  int
+		evaluations int
+	}
+	results := make([]chainResult, cfg.Chains)
+
+	var wg sync.WaitGroup
+	for chain := 0; chain < cfg.Chains; chain++ {
+		wg.Add(1)
+		go func(chainID int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(chainID)*15485863 + 1))
+			current := cfg.Initial
+			currentEnergy := initialEnergy
+			bestEnergy := currentEnergy
+			temp := initialTemp
+			stale := 0
+			iters := 0
+			evals := 0
+
+			for iters < cfg.MaxIterations && stale < cfg.MaxStale && temp > minTemp {
+				iters++
+				candidate := cfg.Neighbor(current, rng)
+				candEnergy := cfg.Energy(candidate)
+				evals++
+
+				accept := false
+				switch {
+				case math.IsInf(candEnergy, 1):
+					accept = false
+				case candEnergy <= currentEnergy:
+					accept = true
+				default:
+					delta := candEnergy - currentEnergy
+					accept = rng.Float64() < math.Exp(-delta/temp)
+				}
+				if accept {
+					current = candidate
+					currentEnergy = candEnergy
+					if candEnergy < bestEnergy {
+						bestEnergy = candEnergy
+						shared.offer(candidate, candEnergy)
+						stale = 0
+					} else {
+						stale++
+					}
+				} else {
+					stale++
+				}
+
+				// Periodically adopt the globally best solution so chains
+				// explore around the current frontier.
+				if iters%cfg.SyncEvery == 0 {
+					if state, energy, ok := shared.get(); ok && energy < currentEnergy {
+						current = state
+						currentEnergy = energy
+						if energy < bestEnergy {
+							bestEnergy = energy
+						}
+					}
+				}
+				temp *= cfg.CoolingRate
+			}
+			results[chainID] = chainResult{iterations: iters, evaluations: evals}
+		}(chain)
+	}
+	wg.Wait()
+
+	state, energy, _ := shared.get()
+	res := Result[S]{Best: state, BestEnergy: energy, Evaluations: 1}
+	for _, r := range results {
+		res.Iterations += r.iterations
+		res.Evaluations += r.evaluations
+	}
+	return res, nil
+}

@@ -1,0 +1,617 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greencloud/internal/cost"
+	"greencloud/internal/energy"
+	"greencloud/internal/location"
+	"greencloud/internal/timeseries"
+)
+
+// Candidate names one site of a candidate siting and, optionally, the IT
+// capacity to build there.  A zero capacity lets the evaluator assign an
+// equal share of the required total.
+type Candidate struct {
+	SiteID     int
+	CapacityKW float64
+}
+
+// maxBrownShareOfPlant is the paper's F parameter: the fraction of the
+// nearest brown plant's capacity a datacenter may draw.
+const maxBrownShareOfPlant = 0.8
+
+// plantScaleCeiling bounds the plant-sizing search, expressed as a multiple
+// of the size that would nominally cover the whole network demand.
+const plantScaleCeiling = 50.0
+
+// Evaluate provisions a fixed siting and prices it: it assigns IT capacity,
+// schedules the follow-the-renewables load across the sites, sizes solar and
+// wind plants (and batteries) so the network meets the requested green
+// fraction, balances every site's energy, and computes the monthly cost.
+//
+// Evaluate is the fast inner-loop evaluator of the heuristic solver; it is
+// deterministic and never returns an error for merely infeasible inputs —
+// those come back as a Solution with Feasible == false so the search can
+// treat them as very expensive states.
+func Evaluate(cat *location.Catalog, candidates []Candidate, spec Spec) (*Solution, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoSites
+	}
+	sites := make([]*location.Site, len(candidates))
+	for i, c := range candidates {
+		s, err := cat.Site(c.SiteID)
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate %d: %w", i, err)
+		}
+		sites[i] = s
+	}
+	grid := cat.Grid()
+
+	sol := &Solution{Spec: spec, Feasible: true}
+
+	capacities := resolveCapacities(candidates, spec)
+	totalCap := 0.0
+	for _, c := range capacities {
+		totalCap += c
+	}
+	if totalCap+1e-6 < spec.TotalCapacityKW {
+		sol.addViolation("provisioned capacity %.1f kW below required %.1f kW", totalCap, spec.TotalCapacityKW)
+	}
+
+	// Availability constraints.
+	minDCs, err := spec.MinDatacenters()
+	if err != nil {
+		return nil, err
+	}
+	if len(sites) < minDCs {
+		sol.addViolation("%d datacenters cannot reach availability %.5f (need ≥ %d)",
+			len(sites), spec.MinAvailability, minDCs)
+	}
+	if spec.MaxDatacenters > 0 && len(sites) > spec.MaxDatacenters {
+		sol.addViolation("%d datacenters exceed the cap of %d", len(sites), spec.MaxDatacenters)
+	}
+	// Survivability: each datacenter must hold at least a 1/n share.
+	minShare := spec.TotalCapacityKW / float64(len(sites))
+	for i, c := range capacities {
+		if c+1e-6 < minShare {
+			sol.addViolation("site %s capacity %.1f kW below survivable share %.1f kW",
+				sites[i].Name, c, minShare)
+			break
+		}
+	}
+
+	// Iterate schedule → plant sizing → schedule: the load schedule depends
+	// on where green energy is produced and vice versa.
+	weights := epochWeights(grid)
+	compute := scheduleLoad(sites, capacities, nil, nil, spec, grid)
+	var solarKW, windKW []float64
+	for iter := 0; iter < 3; iter++ {
+		solarKW, windKW = sizePlants(sites, capacities, compute, spec, grid)
+		compute = scheduleLoad(sites, capacities, solarKW, windKW, spec, grid)
+	}
+	batteryKWh := sizeBatteries(sites, solarKW, windKW, spec)
+
+	// Final accounting per site.
+	migration := migrationSeries(compute, spec.MigrationFraction)
+	aggregate := cost.Breakdown{}
+	totalDemandKWh, totalGreenKWh := 0.0, 0.0
+	for i, site := range sites {
+		demand := demandSeries(site, compute[i], migration[i])
+		green := greenSeries(site, solarKW[i], windKW[i])
+		res, err := energy.Balance(energy.BalanceInput{
+			GreenKW:            green,
+			DemandKW:           demand,
+			Weights:            weights,
+			Mode:               spec.Storage,
+			BatteryCapacityKWh: batteryKWh[i],
+			BatteryEfficiency:  spec.Cost.BatteryEfficiency,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: balance for %s: %w", site.Name, err)
+		}
+
+		maxBrown := 0.0
+		for _, b := range res.BrownKW {
+			if b > maxBrown {
+				maxBrown = b
+			}
+		}
+		if maxBrown > site.NearestPlantKW*maxBrownShareOfPlant {
+			sol.addViolation("site %s draws %.0f kW of brown power, above %.0f%% of the nearest plant (%.0f kW)",
+				site.Name, maxBrown, 100*maxBrownShareOfPlant, site.NearestPlantKW)
+		}
+
+		prov := cost.Provision{
+			CapacityKW: capacities[i],
+			MaxPUE:     site.MaxPUE,
+			SolarKW:    solarKW[i],
+			WindKW:     windKW[i],
+			BatteryKWh: batteryKWh[i],
+		}
+		use := cost.EnergyUse{
+			BrownKWh:         res.BrownKWh,
+			NetChargedKWh:    res.NetChargedKWh,
+			NetDischargedKWh: res.NetDischargedKWh,
+		}
+		breakdown := spec.Cost.MonthlySite(site, prov, use)
+		aggregate = aggregate.Add(breakdown)
+		totalDemandKWh += res.DemandKWh
+		totalGreenKWh += res.GreenUsedKWh + res.BattDischargedKWh + res.NetDischargedKWh
+
+		sol.Sites = append(sol.Sites, SiteSolution{
+			Site:          site,
+			Provision:     prov,
+			Energy:        use,
+			Breakdown:     breakdown,
+			GreenFraction: res.GreenFraction(),
+			ComputeKW:     compute[i],
+			MigrationKW:   migration[i],
+			BrownKW:       res.BrownKW,
+			GreenKW:       green,
+		})
+		sol.ProvisionedCapacityKW += capacities[i]
+		sol.SolarKW += solarKW[i]
+		sol.WindKW += windKW[i]
+		sol.BatteryKWh += batteryKWh[i]
+	}
+
+	sol.Breakdown = aggregate
+	sol.TotalMonthlyUSD = aggregate.Total()
+	if totalDemandKWh > 0 {
+		sol.GreenFraction = math.Min(1, totalGreenKWh/totalDemandKWh)
+	} else {
+		sol.GreenFraction = 1
+	}
+	if sol.GreenFraction+1e-3 < spec.MinGreenFraction {
+		sol.addViolation("green fraction %.3f below required %.3f", sol.GreenFraction, spec.MinGreenFraction)
+	}
+	return sol, nil
+}
+
+// EvaluateSingleSite prices a single datacenter of the given capacity at one
+// site under the spec's green-fraction and storage settings.  It is used for
+// the per-location cost exploration of Fig. 6 and for location filtering.
+func EvaluateSingleSite(cat *location.Catalog, siteID int, capacityKW float64, spec Spec) (*Solution, error) {
+	spec = spec.withDefaults()
+	spec.TotalCapacityKW = capacityKW
+	// A single site is exempt from the network availability rule here: one
+	// paper-tier datacenter always satisfies this relaxed target, so the
+	// per-location cost of Fig. 6 is not polluted by the network constraint.
+	spec.MinAvailability = 0.5
+	return Evaluate(cat, []Candidate{{SiteID: siteID, CapacityKW: capacityKW}}, spec)
+}
+
+// resolveCapacities fills in unspecified capacities with equal shares of the
+// required total.
+func resolveCapacities(candidates []Candidate, spec Spec) []float64 {
+	out := make([]float64, len(candidates))
+	unspecified := 0
+	specified := 0.0
+	for i, c := range candidates {
+		if c.CapacityKW > 0 {
+			out[i] = c.CapacityKW
+			specified += c.CapacityKW
+		} else {
+			unspecified++
+		}
+	}
+	if unspecified > 0 {
+		remaining := spec.TotalCapacityKW - specified
+		share := remaining / float64(unspecified)
+		minShare := spec.TotalCapacityKW / float64(len(candidates))
+		if share < minShare {
+			share = minShare
+		}
+		for i := range out {
+			if out[i] == 0 {
+				out[i] = share
+			}
+		}
+	}
+	return out
+}
+
+func epochWeights(grid *timeseries.Grid) []float64 {
+	epochs := grid.Epochs()
+	out := make([]float64, len(epochs))
+	for i, e := range epochs {
+		out[i] = e.Weight
+	}
+	return out
+}
+
+// scheduleLoad assigns the required total compute power to sites in every
+// epoch, following the renewables: sites with more green energy available in
+// an epoch receive load first; any remainder goes to the sites with the
+// cheapest brown energy.  Assignments never exceed a site's capacity.
+func scheduleLoad(sites []*location.Site, capacities []float64, solarKW, windKW []float64,
+	spec Spec, grid *timeseries.Grid) [][]float64 {
+
+	n := len(sites)
+	nEpochs := grid.Len()
+	compute := make([][]float64, n)
+	for i := range compute {
+		compute[i] = make([]float64, nEpochs)
+	}
+
+	// Brown cost rank: cheaper grid energy × PUE first.
+	brownRank := make([]int, n)
+	for i := range brownRank {
+		brownRank[i] = i
+	}
+	sort.Slice(brownRank, func(a, b int) bool {
+		ia, ib := brownRank[a], brownRank[b]
+		return sites[ia].GridPriceUSDPerKWh*sites[ia].AvgPUE < sites[ib].GridPriceUSDPerKWh*sites[ib].AvgPUE
+	})
+
+	type greenAvail struct {
+		idx   int
+		green float64
+	}
+	for t := 0; t < nEpochs; t++ {
+		remaining := spec.TotalCapacityKW
+
+		if solarKW == nil && windKW == nil {
+			// No plants yet: spread the load proportionally to capacity so
+			// the first plant-sizing pass sees a stable demand.
+			totalCap := 0.0
+			for _, c := range capacities {
+				totalCap += c
+			}
+			for i := range sites {
+				compute[i][t] = spec.TotalCapacityKW * capacities[i] / totalCap
+			}
+			continue
+		}
+
+		avails := make([]greenAvail, n)
+		for i, s := range sites {
+			g := 0.0
+			if solarKW != nil {
+				g += s.Alpha[t] * solarKW[i]
+			}
+			if windKW != nil {
+				g += s.Beta[t] * windKW[i]
+			}
+			avails[i] = greenAvail{idx: i, green: g}
+		}
+		sort.Slice(avails, func(a, b int) bool { return avails[a].green > avails[b].green })
+
+		// First pass: load goes where green power is, up to the power the
+		// green plant can actually feed (divided by PUE to convert facility
+		// power back to IT power) and up to the site's capacity.
+		for _, av := range avails {
+			if remaining <= 0 {
+				break
+			}
+			i := av.idx
+			pueT := sites[i].PUE[t]
+			greenSupportedIT := av.green / pueT
+			take := math.Min(remaining, math.Min(capacities[i], greenSupportedIT))
+			if take > 0 {
+				compute[i][t] = take
+				remaining -= take
+			}
+		}
+		// Second pass: leftover load goes to the cheapest brown sites.
+		for _, i := range brownRank {
+			if remaining <= 0 {
+				break
+			}
+			room := capacities[i] - compute[i][t]
+			if room <= 0 {
+				continue
+			}
+			take := math.Min(remaining, room)
+			compute[i][t] += take
+			remaining -= take
+		}
+		// Any unplaceable remainder is left unassigned; the capacity
+		// violation is recorded by Evaluate through the capacity check.
+	}
+	return compute
+}
+
+// migrationSeries derives the per-epoch migration overhead power at each
+// site: when a site's compute assignment drops between consecutive epochs,
+// the migrated load consumes power at the donor for migrationFraction of the
+// next epoch (the paper's migratePow).
+func migrationSeries(compute [][]float64, migrationFraction float64) [][]float64 {
+	out := make([][]float64, len(compute))
+	for i := range compute {
+		out[i] = make([]float64, len(compute[i]))
+		for t := 1; t < len(compute[i]); t++ {
+			drop := compute[i][t-1] - compute[i][t]
+			if drop > 0 {
+				out[i][t] = migrationFraction * drop
+			}
+		}
+	}
+	return out
+}
+
+// demandSeries converts IT power plus migration overhead into facility power
+// using the site's per-epoch PUE (the paper's powDemand).
+func demandSeries(site *location.Site, compute, migration []float64) []float64 {
+	out := make([]float64, len(compute))
+	for t := range compute {
+		out[t] = (compute[t] + migration[t]) * site.PUE[t]
+	}
+	return out
+}
+
+// greenSeries is the site's on-site green production per epoch for the given
+// plant sizes.
+func greenSeries(site *location.Site, solarKW, windKW float64) []float64 {
+	out := make([]float64, len(site.Alpha))
+	for t := range out {
+		out[t] = site.Alpha[t]*solarKW + site.Beta[t]*windKW
+	}
+	return out
+}
+
+// unitGreenCost returns the monthly cost of one kW of installed plant of the
+// given technology at the site, divided by the kWh it produces per month —
+// i.e. dollars per monthly kWh of green energy.  Infinite when the
+// technology is not viable at the site.
+func unitGreenCost(site *location.Site, solar bool, p cost.Params) float64 {
+	var cf, buildPerW, areaPerKW float64
+	if solar {
+		cf = site.SolarCapacityFactor
+		buildPerW = p.PriceBuildSolarPerW
+		areaPerKW = p.AreaSolarM2PerKW
+	} else {
+		cf = site.WindCapacityFactor
+		buildPerW = p.PriceBuildWindPerW
+		areaPerKW = p.AreaWindM2PerKW
+	}
+	if cf < 0.02 {
+		return math.Inf(1)
+	}
+	monthly := cost.MonthlyFinanced(1000*buildPerW, p.AnnualInterestRate, p.FinancingYears, p.PlantAmortYears) +
+		cost.MonthlyInterestOnly(site.LandPriceUSDPerM2*areaPerKW, p.AnnualInterestRate, p.FinancingYears, p.LandAmortYears)
+	kwhPerMonth := cf * float64(timeseries.HoursPerYear) / 12
+	return monthly / kwhPerMonth
+}
+
+// techWeights decides how a site splits its green plant between solar and
+// wind, based on which technology delivers cheaper usable energy there and
+// on which technologies the spec allows.
+func techWeights(site *location.Site, spec Spec) (solarW, windW float64) {
+	ucSolar := math.Inf(1)
+	ucWind := math.Inf(1)
+	if spec.Sources == SolarOnly || spec.Sources == SolarAndWind {
+		ucSolar = unitGreenCost(site, true, spec.Cost)
+	}
+	if spec.Sources == WindOnly || spec.Sources == SolarAndWind {
+		ucWind = unitGreenCost(site, false, spec.Cost)
+	}
+	switch {
+	case math.IsInf(ucSolar, 1) && math.IsInf(ucWind, 1):
+		return 0, 0
+	case math.IsInf(ucWind, 1):
+		return 1, 0
+	case math.IsInf(ucSolar, 1):
+		return 0, 1
+	}
+	// Both viable: the cheaper one dominates; the other gets a minority
+	// share when it is close in cost (mixing reduces variability, which is
+	// why the paper's solar+wind solutions beat single-technology ones
+	// when storage is scarce).
+	if ucWind <= ucSolar {
+		if ucSolar <= 1.4*ucWind && spec.Storage != energy.NetMetering {
+			return 0.25, 0.75
+		}
+		return 0, 1
+	}
+	if ucWind <= 1.4*ucSolar && spec.Storage != energy.NetMetering {
+		return 0.75, 0.25
+	}
+	return 1, 0
+}
+
+// sizePlants chooses solar and wind capacities per site so the network
+// reaches the spec's green fraction for the given load schedule: base sizes
+// are allocated greedily to the sites with the cheapest green energy, and a
+// global bisection then scales them to hit the target exactly.
+func sizePlants(sites []*location.Site, capacities []float64, compute [][]float64,
+	spec Spec, grid *timeseries.Grid) (solarKW, windKW []float64) {
+
+	n := len(sites)
+	solarKW = make([]float64, n)
+	windKW = make([]float64, n)
+	if spec.MinGreenFraction <= 0 {
+		return solarKW, windKW
+	}
+	weights := epochWeights(grid)
+	migration := migrationSeries(compute, spec.MigrationFraction)
+
+	// Yearly demand per site for the current schedule.
+	demand := make([][]float64, n)
+	demandKWh := make([]float64, n)
+	totalDemandKWh := 0.0
+	for i, s := range sites {
+		demand[i] = demandSeries(s, compute[i], migration[i])
+		for t, d := range demand[i] {
+			demandKWh[i] += d * weights[t]
+		}
+		totalDemandKWh += demandKWh[i]
+	}
+
+	// A site's green plant can only serve that site's own demand (plus what
+	// storage lets it shift in time), so the greedy allocation caps what a
+	// single site is asked to cover at a fraction of its yearly demand and
+	// spills the rest to the next-cheapest site.  The global bisection below
+	// then scales everything to hit the target exactly.
+	const usableFactor = 0.85
+
+	// Blended unit cost per site and greedy base allocation.
+	type siteCost struct {
+		idx           int
+		unit          float64
+		solarW, windW float64
+		solarU, windU float64
+	}
+	costs := make([]siteCost, 0, n)
+	for i, s := range sites {
+		sw, ww := techWeights(s, spec)
+		if sw == 0 && ww == 0 {
+			continue
+		}
+		ucS := unitGreenCost(s, true, spec.Cost)
+		ucW := unitGreenCost(s, false, spec.Cost)
+		blended := 0.0
+		if sw > 0 {
+			blended += sw * ucS
+		}
+		if ww > 0 {
+			blended += ww * ucW
+		}
+		costs = append(costs, siteCost{idx: i, unit: blended, solarW: sw, windW: ww, solarU: ucS, windU: ucW})
+	}
+	sort.Slice(costs, func(a, b int) bool { return costs[a].unit < costs[b].unit })
+
+	requiredKWh := spec.MinGreenFraction * totalDemandKWh
+	remaining := requiredKWh
+	baseSolar := make([]float64, n)
+	baseWind := make([]float64, n)
+	allocate := func(i int, allocKWh, solarW, windW float64) {
+		if allocKWh <= 0 {
+			return
+		}
+		if solarW > 0 && sites[i].SolarCapacityFactor > 0.02 {
+			baseSolar[i] += allocKWh * solarW / (sites[i].SolarCapacityFactor * float64(timeseries.HoursPerYear))
+		}
+		if windW > 0 && sites[i].WindCapacityFactor > 0.02 {
+			baseWind[i] += allocKWh * windW / (sites[i].WindCapacityFactor * float64(timeseries.HoursPerYear))
+		}
+	}
+	for _, c := range costs {
+		if remaining <= 0 {
+			break
+		}
+		i := c.idx
+		allocKWh := math.Min(remaining, usableFactor*demandKWh[i])
+		allocate(i, allocKWh, c.solarW, c.windW)
+		remaining -= allocKWh
+	}
+	// Whatever is left cannot be served by any single site within its usable
+	// share; spread it across all viable sites proportionally to demand so
+	// the bisection still has plants to scale (the green-fraction violation,
+	// if any, is reported by the caller).
+	if remaining > 1e-9 && len(costs) > 0 {
+		viableDemand := 0.0
+		for _, c := range costs {
+			viableDemand += demandKWh[c.idx]
+		}
+		if viableDemand > 0 {
+			for _, c := range costs {
+				allocate(c.idx, remaining*demandKWh[c.idx]/viableDemand, c.solarW, c.windW)
+			}
+		}
+	}
+
+	// Global scale bisection to hit the target green fraction under the
+	// real storage dynamics.
+	evalFraction := func(scale float64) float64 {
+		greenTotal, demandTotal := 0.0, 0.0
+		for i, s := range sites {
+			green := make([]float64, grid.Len())
+			for t := range green {
+				green[t] = s.Alpha[t]*baseSolar[i]*scale + s.Beta[t]*baseWind[i]*scale
+			}
+			battCap := batteryCapacityFor(baseSolar[i]*scale, baseWind[i]*scale, s, spec)
+			res, err := energy.Balance(energy.BalanceInput{
+				GreenKW:            green,
+				DemandKW:           demand[i],
+				Weights:            weights,
+				Mode:               spec.Storage,
+				BatteryCapacityKWh: battCap,
+				BatteryEfficiency:  spec.Cost.BatteryEfficiency,
+			})
+			if err != nil {
+				return 0
+			}
+			greenTotal += res.GreenUsedKWh + res.BattDischargedKWh + res.NetDischargedKWh
+			demandTotal += res.DemandKWh
+		}
+		if demandTotal <= 0 {
+			return 1
+		}
+		return greenTotal / demandTotal
+	}
+
+	if evalFraction(1) >= spec.MinGreenFraction {
+		// Shrink: find the smallest sufficient scale.
+		lo, hi := 0.0, 1.0
+		for iter := 0; iter < 40; iter++ {
+			mid := (lo + hi) / 2
+			if evalFraction(mid) >= spec.MinGreenFraction {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		applyScale(baseSolar, baseWind, hi, solarKW, windKW)
+		return solarKW, windKW
+	}
+	// Grow: find a sufficient ceiling, then bisect down.
+	hi := 1.0
+	for hi < plantScaleCeiling && evalFraction(hi) < spec.MinGreenFraction {
+		hi *= 2
+	}
+	if hi > plantScaleCeiling {
+		hi = plantScaleCeiling
+	}
+	if evalFraction(hi) < spec.MinGreenFraction {
+		// Unreachable with this siting; return the ceiling so the caller
+		// records the green-fraction violation.
+		applyScale(baseSolar, baseWind, hi, solarKW, windKW)
+		return solarKW, windKW
+	}
+	lo := hi / 2
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if evalFraction(mid) >= spec.MinGreenFraction {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	applyScale(baseSolar, baseWind, hi, solarKW, windKW)
+	return solarKW, windKW
+}
+
+func applyScale(baseSolar, baseWind []float64, scale float64, solarKW, windKW []float64) {
+	for i := range baseSolar {
+		solarKW[i] = baseSolar[i] * scale
+		windKW[i] = baseWind[i] * scale
+	}
+}
+
+// batteryCapacityFor sizes a site's battery bank as BatteryHours hours of the
+// plant's average production (zero unless battery storage is selected).
+func batteryCapacityFor(solarKW, windKW float64, site *location.Site, spec Spec) float64 {
+	if spec.Storage != energy.Batteries {
+		return 0
+	}
+	avgProduction := solarKW*site.SolarCapacityFactor + windKW*site.WindCapacityFactor
+	return spec.BatteryHours * avgProduction
+}
+
+// sizeBatteries returns the battery capacity per site for the final plant
+// sizes.
+func sizeBatteries(sites []*location.Site, solarKW, windKW []float64, spec Spec) []float64 {
+	out := make([]float64, len(sites))
+	for i, s := range sites {
+		out[i] = batteryCapacityFor(solarKW[i], windKW[i], s, spec)
+	}
+	return out
+}

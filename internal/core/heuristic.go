@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"greencloud/internal/anneal"
+	"greencloud/internal/location"
+)
+
+// SolveOptions tunes the heuristic solver.
+type SolveOptions struct {
+	// Candidates, when non-empty, is a pre-filtered list of site IDs to
+	// search over; the filtering stage is skipped.  Sweeps that call Solve
+	// many times on the same catalog filter once and reuse the list.
+	Candidates []int
+	// FilterKeep is how many candidate locations survive the filtering
+	// stage (the paper keeps 50–100 of its 1373); default 60.
+	FilterKeep int
+	// Chains is the number of parallel annealing instances; default 4.
+	Chains int
+	// MaxIterations caps the iterations per chain; default 250.
+	MaxIterations int
+	// Seed makes the search reproducible.
+	Seed int64
+	// CapacityQuantumKW is the step used by capacity-changing moves;
+	// default TotalCapacityKW/8.
+	CapacityQuantumKW float64
+}
+
+func (o SolveOptions) withDefaults(spec Spec) SolveOptions {
+	if o.FilterKeep <= 0 {
+		o.FilterKeep = 60
+	}
+	if o.Chains <= 0 {
+		o.Chains = 4
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 250
+	}
+	if o.CapacityQuantumKW <= 0 {
+		o.CapacityQuantumKW = spec.TotalCapacityKW / 8
+	}
+	return o
+}
+
+// FilterSites implements the first stage of the heuristic solver: it prices a
+// representative single datacenter at every location (for the spec's source
+// and storage settings, and for a plain brown datacenter) and keeps the
+// `keep` cheapest locations, always including the very best wind and solar
+// sites so the annealing stage can exploit them.
+func FilterSites(cat *location.Catalog, spec Spec, keep int) ([]int, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cat.Len() == 0 {
+		return nil, ErrNoSites
+	}
+	if keep <= 0 {
+		keep = 60
+	}
+	if keep > cat.Len() {
+		keep = cat.Len()
+	}
+	minDCs, err := spec.MinDatacenters()
+	if err != nil {
+		return nil, err
+	}
+	refCapacity := spec.TotalCapacityKW / float64(minDCs)
+
+	type scored struct {
+		id    int
+		score float64
+	}
+	scores := make([]scored, 0, cat.Len())
+	for _, site := range cat.Sites() {
+		// Brown reference cost.
+		brownSpec := spec
+		brownSpec.MinGreenFraction = 0
+		brown, err := EvaluateSingleSite(cat, site.ID, refCapacity, brownSpec)
+		if err != nil {
+			return nil, fmt.Errorf("core: filter: %w", err)
+		}
+		score := brown.TotalMonthlyUSD
+		if spec.MinGreenFraction > 0 {
+			green, err := EvaluateSingleSite(cat, site.ID, refCapacity, spec)
+			if err != nil {
+				return nil, fmt.Errorf("core: filter: %w", err)
+			}
+			// A site that cannot reach the green target alone is still
+			// useful in a network, so only use its cost as the score.
+			score = math.Min(score, green.TotalMonthlyUSD)
+			if green.Feasible {
+				score = green.TotalMonthlyUSD
+			}
+		}
+		scores = append(scores, scored{id: site.ID, score: score})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].score < scores[j].score })
+
+	selected := make([]int, 0, keep+20)
+	seen := make(map[int]bool, keep+20)
+	for _, s := range scores {
+		if len(selected) >= keep {
+			break
+		}
+		selected = append(selected, s.id)
+		seen[s.id] = true
+	}
+	// Always keep the very best renewable sites: they anchor the green
+	// solutions even if their brown cost is mediocre.
+	for _, s := range cat.TopByWindCF(10) {
+		if !seen[s.ID] {
+			selected = append(selected, s.ID)
+			seen[s.ID] = true
+		}
+	}
+	for _, s := range cat.TopBySolarCF(10) {
+		if !seen[s.ID] {
+			selected = append(selected, s.ID)
+			seen[s.ID] = true
+		}
+	}
+	return selected, nil
+}
+
+// siting is the annealing state: a set of candidate sites with capacities.
+type siting struct {
+	candidates []Candidate
+}
+
+func (s siting) clone() siting {
+	out := make([]Candidate, len(s.candidates))
+	copy(out, s.candidates)
+	return siting{candidates: out}
+}
+
+// Solve runs the heuristic solver: filter locations, then search over
+// sitings and capacity splits with parallel simulated annealing, evaluating
+// every candidate siting with the fast evaluator, and return the best
+// feasible solution found.
+func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(spec)
+
+	filtered := opts.Candidates
+	if len(filtered) == 0 {
+		var err error
+		filtered, err = FilterSites(cat, spec, opts.FilterKeep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	minDCs, err := spec.MinDatacenters()
+	if err != nil {
+		return nil, err
+	}
+	if len(filtered) < minDCs {
+		return nil, fmt.Errorf("%w: only %d candidate sites for %d required datacenters",
+			ErrInfeasible, len(filtered), minDCs)
+	}
+
+	evaluate := func(s siting) (*Solution, float64) {
+		sol, err := Evaluate(cat, s.candidates, spec)
+		if err != nil || !sol.Feasible {
+			return sol, math.Inf(1)
+		}
+		return sol, sol.TotalMonthlyUSD
+	}
+
+	initial := buildInitialSiting(cat, filtered, minDCs, spec, evaluate)
+
+	maxDCs := spec.MaxDatacenters
+	if maxDCs == 0 {
+		maxDCs = minDCs + 12
+	}
+	quantum := opts.CapacityQuantumKW
+
+	neighbor := func(s siting, rng *rand.Rand) siting {
+		out := s.clone()
+		cands := out.candidates
+		switch move := rng.Intn(5); move {
+		case 0: // swap a site for an unselected filtered site
+			if len(cands) > 0 {
+				i := rng.Intn(len(cands))
+				replacement := filtered[rng.Intn(len(filtered))]
+				if !sitingContains(cands, replacement) {
+					cands[i].SiteID = replacement
+				}
+			}
+		case 1: // add a site
+			if len(cands) < maxDCs {
+				id := filtered[rng.Intn(len(filtered))]
+				if !sitingContains(cands, id) {
+					share := spec.TotalCapacityKW / float64(len(cands)+1)
+					cands = append(cands, Candidate{SiteID: id, CapacityKW: share})
+					// Rebalance to keep every site at the survivable share.
+					rebalance(cands, spec)
+				}
+			}
+		case 2: // remove a site
+			if len(cands) > minDCs {
+				i := rng.Intn(len(cands))
+				cands = append(cands[:i], cands[i+1:]...)
+				rebalance(cands, spec)
+			}
+		case 3: // grow one site's capacity
+			if len(cands) > 0 {
+				cands[rng.Intn(len(cands))].CapacityKW += quantum
+			}
+		case 4: // shrink one site's capacity (not below the survivable share)
+			if len(cands) > 0 {
+				i := rng.Intn(len(cands))
+				minShare := spec.TotalCapacityKW / float64(len(cands))
+				if cands[i].CapacityKW-quantum >= minShare-1e-9 {
+					cands[i].CapacityKW -= quantum
+				}
+			}
+		}
+		out.candidates = cands
+		return out
+	}
+
+	result, err := anneal.Run(anneal.Config[siting]{
+		Initial: initial,
+		Energy: func(s siting) float64 {
+			_, e := evaluate(s)
+			return e
+		},
+		Neighbor:      neighbor,
+		MaxIterations: opts.MaxIterations,
+		MaxStale:      opts.MaxIterations / 2,
+		Chains:        opts.Chains,
+		SyncEvery:     25,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: anneal: %w", err)
+	}
+	if math.IsInf(result.BestEnergy, 1) {
+		return nil, ErrInfeasible
+	}
+	best, _ := evaluate(result.Best)
+	return best, nil
+}
+
+// buildInitialSiting tries a few natural starting points and returns the one
+// with the lowest energy, preferring feasible states so the annealing chains
+// start from somewhere useful.
+func buildInitialSiting(cat *location.Catalog, filtered []int, minDCs int, spec Spec,
+	evaluate func(siting) (*Solution, float64)) siting {
+
+	share := spec.TotalCapacityKW / float64(minDCs)
+	cheapest := make([]Candidate, 0, minDCs)
+	for i := 0; i < minDCs && i < len(filtered); i++ {
+		cheapest = append(cheapest, Candidate{SiteID: filtered[i], CapacityKW: share})
+	}
+	options := []siting{{candidates: cheapest}}
+
+	// Full replication at each of the cheapest sites: the natural start for
+	// high green fractions without storage.
+	full := make([]Candidate, 0, minDCs)
+	for i := 0; i < minDCs && i < len(filtered); i++ {
+		full = append(full, Candidate{SiteID: filtered[i], CapacityKW: spec.TotalCapacityKW})
+	}
+	options = append(options, siting{candidates: full})
+
+	// Three sites spread across time zones with full capacity each: the
+	// shape of the paper's no-storage solutions.
+	if len(filtered) >= 3 {
+		spread := pickSpreadSites(cat, filtered, 3)
+		cands := make([]Candidate, 0, len(spread))
+		for _, id := range spread {
+			cands = append(cands, Candidate{SiteID: id, CapacityKW: spec.TotalCapacityKW})
+		}
+		if len(cands) >= minDCs {
+			options = append(options, siting{candidates: cands})
+		}
+	}
+
+	best := options[0]
+	bestEnergy := math.Inf(1)
+	for _, opt := range options {
+		if _, e := evaluate(opt); e < bestEnergy {
+			bestEnergy = e
+			best = opt
+		}
+	}
+	return best
+}
+
+// pickSpreadSites selects n filtered sites whose UTC offsets are as far
+// apart as possible (so one of them always has daylight).
+func pickSpreadSites(cat *location.Catalog, filtered []int, n int) []int {
+	if len(filtered) <= n {
+		out := make([]int, len(filtered))
+		copy(out, filtered)
+		return out
+	}
+	selected := []int{filtered[0]}
+	for len(selected) < n {
+		bestID := -1
+		bestDist := -1.0
+		for _, id := range filtered {
+			if containsInt(selected, id) {
+				continue
+			}
+			site, err := cat.Site(id)
+			if err != nil {
+				continue
+			}
+			dist := math.Inf(1)
+			for _, sel := range selected {
+				other, err := cat.Site(sel)
+				if err != nil {
+					continue
+				}
+				d := circularHourDistance(site.UTCOffsetHours, other.UTCOffsetHours)
+				if d < dist {
+					dist = d
+				}
+			}
+			if dist > bestDist {
+				bestDist = dist
+				bestID = id
+			}
+		}
+		if bestID < 0 {
+			break
+		}
+		selected = append(selected, bestID)
+	}
+	return selected
+}
+
+func circularHourDistance(a, b int) float64 {
+	d := math.Abs(float64(a - b))
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}
+
+func containsInt(list []int, v int) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sitingContains(cands []Candidate, id int) bool {
+	for _, c := range cands {
+		if c.SiteID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalance resets all capacities to the equal survivable share after a
+// site-count change.
+func rebalance(cands []Candidate, spec Spec) {
+	if len(cands) == 0 {
+		return
+	}
+	share := spec.TotalCapacityKW / float64(len(cands))
+	for i := range cands {
+		if cands[i].CapacityKW < share {
+			cands[i].CapacityKW = share
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greencloud/internal/location"
+)
+
+func testSite(t *testing.T) *location.Site {
+	t.Helper()
+	cat, err := location.Generate(location.Options{Count: 4, Seed: 1, RepresentativeDays: 1})
+	if err != nil {
+		t.Fatalf("generate catalog: %v", err)
+	}
+	s, err := cat.Site(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := p
+	bad.BatteryEfficiency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero battery efficiency should be invalid")
+	}
+	bad = p
+	bad.FinancingYears = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero financing years should be invalid")
+	}
+	bad = p
+	bad.CreditNetMeter = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("credit above 1 should be invalid")
+	}
+	bad = p
+	bad.ServerPowerW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero server power should be invalid")
+	}
+	bad = p
+	bad.AnnualInterestRate = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative interest should be invalid")
+	}
+}
+
+func TestMonthlyFinanced(t *testing.T) {
+	// Zero interest: the monthly cost is simply principal / amortization months.
+	if got, want := MonthlyFinanced(1200, 0, 1, 1), 100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("zero-interest MonthlyFinanced = %v, want %v", got, want)
+	}
+	// With interest the total repaid exceeds the principal.
+	withInterest := MonthlyFinanced(1_000_000, 0.0325, 12, 12)
+	noInterest := MonthlyFinanced(1_000_000, 0, 12, 12)
+	if withInterest <= noInterest {
+		t.Errorf("interest should increase the monthly cost: %v <= %v", withInterest, noInterest)
+	}
+	// Longer amortization reduces the monthly charge.
+	if MonthlyFinanced(1e6, 0.0325, 12, 24) >= MonthlyFinanced(1e6, 0.0325, 12, 12) {
+		t.Error("longer amortization should reduce the monthly cost")
+	}
+	if MonthlyFinanced(0, 0.0325, 12, 12) != 0 {
+		t.Error("zero principal should cost nothing")
+	}
+	if MonthlyFinanced(-5, 0.0325, 12, 12) != 0 {
+		t.Error("negative principal should cost nothing")
+	}
+}
+
+func TestMonthlyInterestOnly(t *testing.T) {
+	interestOnly := MonthlyInterestOnly(1e6, 0.0325, 12, 12)
+	full := MonthlyFinanced(1e6, 0.0325, 12, 12)
+	if interestOnly <= 0 {
+		t.Error("interest-only cost should be positive with a positive rate")
+	}
+	if interestOnly >= full {
+		t.Errorf("interest-only %v should be far below full financing %v", interestOnly, full)
+	}
+	if MonthlyInterestOnly(1e6, 0, 12, 12) != 0 {
+		t.Error("interest-only cost at zero rate should be zero")
+	}
+}
+
+func TestMonthlyFinancedMonotoneInPrincipal(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1e8))
+		b = math.Abs(math.Mod(b, 1e8))
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return MonthlyFinanced(lo, 0.0325, 12, 12) <= MonthlyFinanced(hi, 0.0325, 12, 12)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumServers(t *testing.T) {
+	p := DefaultParams()
+	// 25 MW at 275 W/server + 480/32 W of switch share = 290 W per server.
+	got := p.NumServers(25_000)
+	want := 25_000_000.0 / 290.0
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("NumServers(25MW) = %v, want %v", got, want)
+	}
+	// The paper's 50 MW network hosts ~91,000 servers in two 25 MW DCs
+	// plus slack; one 25 MW DC should be in the 80k–90k range.
+	if got < 80_000 || got > 90_000 {
+		t.Errorf("NumServers(25MW) = %v, want ~86k (paper: ~45.5k per 12.5MW)", got)
+	}
+}
+
+func TestBuildDCPricePerW(t *testing.T) {
+	p := DefaultParams()
+	if got := p.BuildDCPricePerW(5_000); got != p.PriceBuildDCSmallPerW {
+		t.Errorf("small DC price = %v, want %v", got, p.PriceBuildDCSmallPerW)
+	}
+	if got := p.BuildDCPricePerW(25_000); got != p.PriceBuildDCLargePerW {
+		t.Errorf("large DC price = %v, want %v", got, p.PriceBuildDCLargePerW)
+	}
+}
+
+func TestMonthlySiteBreakdown(t *testing.T) {
+	p := DefaultParams()
+	site := testSite(t)
+	prov := Provision{CapacityKW: 25_000, MaxPUE: 1.1, WindKW: 50_000, SolarKW: 10_000, BatteryKWh: 5_000}
+	use := EnergyUse{BrownKWh: 100e6, NetChargedKWh: 20e6, NetDischargedKWh: 15e6}
+	b := p.MonthlySite(site, prov, use)
+
+	if b.Total() <= 0 {
+		t.Fatal("total monthly cost should be positive")
+	}
+	// Construction and IT should dominate, as in Fig. 7.
+	if b.BuildDC <= 0 || b.ITEquipment <= 0 {
+		t.Error("construction and IT equipment costs must be positive")
+	}
+	if b.BuildWind <= 0 || b.BuildSolar <= 0 || b.Battery <= 0 {
+		t.Error("plant and battery costs must be positive when provisioned")
+	}
+	if b.ConnectionPower <= 0 || b.ConnectionFiber <= 0 {
+		t.Error("connection costs must be positive")
+	}
+	if b.NetworkBandwidth <= 0 {
+		t.Error("bandwidth cost must be positive")
+	}
+	// A 25 MW datacenter should cost on the order of $5M–$25M per month
+	// (Fig. 6 reports $8.7M–$23.3M across locations).
+	if b.Total() < 3e6 || b.Total() > 40e6 {
+		t.Errorf("monthly total %v out of plausible range", b.Total())
+	}
+	if b.String() == "" {
+		t.Error("String() should produce a summary")
+	}
+}
+
+func TestMonthlySiteUnbuilt(t *testing.T) {
+	p := DefaultParams()
+	site := testSite(t)
+	b := p.MonthlySite(site, Provision{}, EnergyUse{})
+	if b.Total() != 0 {
+		t.Errorf("an unbuilt site should cost nothing, got %v", b.Total())
+	}
+}
+
+func TestMonthlySiteUsesMaxPUEFallback(t *testing.T) {
+	p := DefaultParams()
+	site := testSite(t)
+	withExplicit := p.MonthlySite(site, Provision{CapacityKW: 10_000, MaxPUE: site.MaxPUE}, EnergyUse{})
+	withFallback := p.MonthlySite(site, Provision{CapacityKW: 10_000}, EnergyUse{})
+	if math.Abs(withExplicit.BuildDC-withFallback.BuildDC) > 1e-6 {
+		t.Errorf("fallback MaxPUE should match the site's: %v vs %v",
+			withExplicit.BuildDC, withFallback.BuildDC)
+	}
+}
+
+func TestNetMeteringCreditReducesBill(t *testing.T) {
+	p := DefaultParams()
+	site := testSite(t)
+	prov := Provision{CapacityKW: 25_000, WindKW: 60_000}
+	withCredit := p.MonthlySite(site, prov, EnergyUse{BrownKWh: 50e6, NetChargedKWh: 30e6})
+	p.CreditNetMeter = 0
+	withoutCredit := p.MonthlySite(site, prov, EnergyUse{BrownKWh: 50e6, NetChargedKWh: 30e6})
+	if withCredit.BrownEnergy >= withoutCredit.BrownEnergy {
+		t.Errorf("net-metering credit should reduce the brown bill: %v vs %v",
+			withCredit.BrownEnergy, withoutCredit.BrownEnergy)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{BuildDC: 1, ITEquipment: 2, BrownEnergy: 3}
+	b := Breakdown{BuildDC: 10, Battery: 5}
+	sum := a.Add(b)
+	if sum.BuildDC != 11 || sum.ITEquipment != 2 || sum.Battery != 5 || sum.BrownEnergy != 3 {
+		t.Errorf("Add produced %+v", sum)
+	}
+	if math.Abs(sum.Total()-(a.Total()+b.Total())) > 1e-12 {
+		t.Error("Total of sum should equal sum of totals")
+	}
+}
+
+func TestCapIndependentUSD(t *testing.T) {
+	p := DefaultParams()
+	site := testSite(t)
+	want := site.DistPowerKm*p.CostLinePowPerKm + site.DistNetworkKm*p.CostLineNetPerKm
+	if got := p.CapIndependentUSD(site); math.Abs(got-want) > 1e-6 {
+		t.Errorf("CapIndependentUSD = %v, want %v", got, want)
+	}
+}
+
+func TestWindCheaperThanSolarPerKW(t *testing.T) {
+	// Building a wind plant must be cheaper per installed kW than solar
+	// (the paper's headline reason wind usually wins).
+	p := DefaultParams()
+	site := testSite(t)
+	wind := p.MonthlySite(site, Provision{CapacityKW: 1, WindKW: 1000}, EnergyUse{})
+	solar := p.MonthlySite(site, Provision{CapacityKW: 1, SolarKW: 1000}, EnergyUse{})
+	if wind.BuildWind >= solar.BuildSolar {
+		t.Errorf("wind build cost %v should be below solar %v", wind.BuildWind, solar.BuildSolar)
+	}
+}

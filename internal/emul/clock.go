@@ -1,0 +1,7 @@
+package emul
+
+import "time"
+
+// nowNanos returns a monotonic-ish timestamp for measuring scheduler
+// latency.  It is a separate function so tests could stub it if needed.
+func nowNanos() int64 { return time.Now().UnixNano() }

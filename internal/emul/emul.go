@@ -1,0 +1,374 @@
+// Package emul is the GreenNebula emulation harness: it wires together the
+// within-datacenter managers (internal/nebula), the multi-datacenter
+// scheduler (internal/sched), the WAN and live-migration models
+// (internal/wan, internal/migrate), GDFS (internal/gdfs) and the green
+// energy traces of the selected sites (internal/location) to reproduce the
+// follow-the-renewables experiments of Section V of the paper — in
+// particular the day-long load-distribution trace of Fig. 15.
+package emul
+
+import (
+	"errors"
+	"fmt"
+
+	"greencloud/internal/gdfs"
+	"greencloud/internal/location"
+	"greencloud/internal/migrate"
+	"greencloud/internal/nebula"
+	"greencloud/internal/predict"
+	"greencloud/internal/sched"
+	"greencloud/internal/vm"
+	"greencloud/internal/wan"
+)
+
+// DatacenterConfig describes one emulated datacenter.
+type DatacenterConfig struct {
+	// Name identifies the datacenter.
+	Name string
+	// Site provides the green-energy and PUE traces.
+	Site *location.Site
+	// CapacityKW is the IT capacity of the datacenter.
+	CapacityKW float64
+	// SolarKW and WindKW are the on-site plant sizes.
+	SolarKW float64
+	WindKW  float64
+	// Hosts is the number of physical machines to emulate.  Zero sizes the
+	// datacenter just large enough for the whole VM fleet.
+	Hosts int
+}
+
+// Config describes a whole emulation run.
+type Config struct {
+	// Datacenters are the sites of the network (the paper uses three).
+	Datacenters []DatacenterConfig
+	// VMs is the workload to host (the paper's validation uses 9 HPC VMs;
+	// the Fig. 15 experiment scales the same shape up to the datacenter
+	// size).
+	VMs vm.Fleet
+	// StartHour is the hour of the TMY year at which the emulation starts.
+	StartHour int
+	// Hours is the length of the emulation.
+	Hours int
+	// HorizonHours is the scheduler's prediction horizon (default 48).
+	HorizonHours int
+	// MigrationFraction is the conservative both-ends accounting fraction.
+	MigrationFraction float64
+	// Link is the WAN link used between every pair of datacenters.
+	Link wan.Link
+	// Predictor selects the green-energy predictor ("perfect",
+	// "persistence" or "diurnal"; default "perfect", as in the paper).
+	Predictor string
+}
+
+// HourRecord is one datacenter-hour of the emulation trace — the data behind
+// Fig. 15.
+type HourRecord struct {
+	Hour           int
+	Datacenter     string
+	GreenKW        float64
+	LoadKW         float64
+	PUEOverheadKW  float64
+	MigrationKW    float64
+	BrownKW        float64
+	VMCount        int
+	MigrationsIn   int
+	MigrationsOut  int
+	MigratedBytes  int64
+	SchedulerNanos int64
+}
+
+// Result is the output of an emulation run.
+type Result struct {
+	// Trace holds one record per datacenter per hour.
+	Trace []HourRecord
+	// TotalGreenKWh, TotalBrownKWh and TotalMigrationKWh summarize the run.
+	TotalGreenKWh     float64
+	TotalBrownKWh     float64
+	TotalDemandKWh    float64
+	TotalMigrationKWh float64
+	// Migrations is the total number of VM migrations performed.
+	Migrations int
+	// AvgScheduleNanos is the average time the scheduler needed to compute
+	// a migration schedule.
+	AvgScheduleNanos int64
+	// GreenFraction is the fraction of total demand covered by green
+	// energy during the run.
+	GreenFraction float64
+}
+
+// Errors returned by Run.
+var (
+	ErrNoDatacenters = errors.New("emul: need at least two datacenters")
+	ErrNoVMs         = errors.New("emul: need at least one VM")
+)
+
+// maxGDFSDiskMB caps how much of each VM's disk is materialized in the
+// in-memory GDFS during an emulation.  The migration and re-replication
+// behaviour only depends on the recently dirtied blocks (110 MB/h in the
+// paper's workload), so representing a 64 MB working-set window of the 5 GB
+// disk keeps memory bounded without changing what the experiment measures.
+const maxGDFSDiskMB = 64
+
+// Run executes the emulation.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Datacenters) < 2 {
+		return nil, ErrNoDatacenters
+	}
+	if len(cfg.VMs) == 0 {
+		return nil, ErrNoVMs
+	}
+	if cfg.Hours <= 0 {
+		cfg.Hours = 24
+	}
+	if cfg.HorizonHours <= 0 {
+		cfg.HorizonHours = 48
+	}
+	if cfg.MigrationFraction <= 0 {
+		cfg.MigrationFraction = 1
+	}
+	if cfg.Link.BandwidthMbps == 0 {
+		cfg.Link = wan.DefaultLink
+	}
+
+	names := make([]string, len(cfg.Datacenters))
+	for i, dc := range cfg.Datacenters {
+		if dc.Site == nil {
+			return nil, fmt.Errorf("emul: datacenter %q has no site", dc.Name)
+		}
+		names[i] = dc.Name
+	}
+	network, err := wan.FullMesh(names, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+
+	// Green production and PUE traces per datacenter (hourly, UTC clock).
+	greenTrace := make([][]float64, len(cfg.Datacenters))
+	pueTrace := make([][]float64, len(cfg.Datacenters))
+	for i, dc := range cfg.Datacenters {
+		alpha, beta, pueSeries := dc.Site.HourlyProfilesUTC()
+		hours := alpha.Len()
+		g := make([]float64, hours)
+		p := make([]float64, hours)
+		for h := 0; h < hours; h++ {
+			g[h] = alpha.At(h)*dc.SolarKW + beta.At(h)*dc.WindKW
+			p[h] = pueSeries.At(h)
+		}
+		greenTrace[i] = g
+		pueTrace[i] = p
+	}
+
+	predictors := make([]predict.Predictor, len(cfg.Datacenters))
+	for i := range cfg.Datacenters {
+		switch cfg.Predictor {
+		case "", "perfect":
+			predictors[i] = &predict.Perfect{Trace: greenTrace[i]}
+		case "persistence":
+			predictors[i] = &predict.Persistence{Trace: greenTrace[i]}
+		case "diurnal":
+			predictors[i] = &predict.Diurnal{Trace: greenTrace[i]}
+		default:
+			return nil, fmt.Errorf("emul: unknown predictor %q", cfg.Predictor)
+		}
+	}
+
+	// Within-datacenter managers and GDFS.
+	managers := make([]*nebula.Datacenter, len(cfg.Datacenters))
+	master := gdfs.NewMaster(len(cfg.Datacenters))
+	cluster := gdfs.NewCluster(master)
+	clients := make([]*gdfs.Client, len(cfg.Datacenters))
+	for i, dc := range cfg.Datacenters {
+		hosts := dc.Hosts
+		if hosts == 0 {
+			hosts = len(cfg.VMs) // enough for full replication of the fleet
+		}
+		managers[i] = nebula.NewUniformDatacenter(dc.Name, hosts)
+		worker := gdfs.NewWorker(gdfs.WorkerID(dc.Name))
+		if err := cluster.AddWorker(worker, dc.Name); err != nil {
+			return nil, err
+		}
+		client, err := cluster.NewClient(gdfs.WorkerID(dc.Name))
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = client
+	}
+	dcIndex := make(map[string]int, len(names))
+	for i, n := range names {
+		dcIndex[n] = i
+	}
+
+	// Initial placement: all VMs start at the first datacenter (the paper's
+	// runs start with the load wherever the day begins greenest; starting
+	// at a fixed site lets the first scheduling round move it).
+	vmHome := make(map[string]int, len(cfg.VMs))
+	for _, machine := range cfg.VMs {
+		if _, err := managers[0].Place(machine); err != nil {
+			return nil, fmt.Errorf("emul: initial placement: %w", err)
+		}
+		vmHome[machine.ID] = 0
+		diskMB := machine.DiskMB
+		if diskMB > maxGDFSDiskMB {
+			diskMB = maxGDFSDiskMB
+		}
+		if _, err := clients[0].Create("/vm/"+machine.ID+"/disk", int64(diskMB)<<20); err != nil {
+			return nil, err
+		}
+	}
+
+	scheduler := sched.New(sched.Options{
+		HorizonHours:      cfg.HorizonHours,
+		MigrationFraction: cfg.MigrationFraction,
+	})
+
+	totalVMPowerKW := cfg.VMs.TotalPowerW() / 1000
+	res := &Result{}
+	var schedNanosTotal int64
+	var schedRounds int64
+
+	for hour := 0; hour < cfg.Hours; hour++ {
+		absHour := cfg.StartHour + hour
+
+		// Build the scheduler's view of each datacenter.
+		states := make([]sched.DatacenterState, len(cfg.Datacenters))
+		placements := make(map[string]vm.Fleet, len(cfg.Datacenters))
+		for i, dc := range cfg.Datacenters {
+			forecast, err := predictors[i].Predict(absHour%len(greenTrace[i]), cfg.HorizonHours)
+			if err != nil {
+				return nil, err
+			}
+			pues := make([]float64, cfg.HorizonHours)
+			for h := 0; h < cfg.HorizonHours; h++ {
+				pues[h] = pueTrace[i][(absHour+h)%len(pueTrace[i])]
+			}
+			states[i] = sched.DatacenterState{
+				Name:               dc.Name,
+				CapacityKW:         dc.CapacityKW,
+				CurrentLoadKW:      managers[i].VMs().TotalPowerW() / 1000,
+				GreenForecastKW:    forecast,
+				PUE:                pues,
+				GridPriceUSDPerKWh: dc.Site.GridPriceUSDPerKWh,
+			}
+			placements[dc.Name] = managers[i].VMs()
+		}
+
+		start := nowNanos()
+		plan, err := scheduler.Partition(states, totalVMPowerKW)
+		if err != nil {
+			return nil, fmt.Errorf("emul: hour %d: %w", hour, err)
+		}
+		moves, err := scheduler.MigrationSchedule(states, placements, plan, network.Distance)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := nowNanos() - start
+		schedNanosTotal += elapsed
+		schedRounds++
+
+		// Execute the migrations: move the VM between managers, ship the
+		// stale GDFS blocks, account the energy.
+		migEnergyKWh := make([]float64, len(cfg.Datacenters))
+		migIn := make([]int, len(cfg.Datacenters))
+		migOut := make([]int, len(cfg.Datacenters))
+		migBytes := make([]int64, len(cfg.Datacenters))
+		for _, mv := range moves {
+			fromIdx, okF := dcIndex[mv.From]
+			toIdx, okT := dcIndex[mv.To]
+			if !okF || !okT {
+				return nil, fmt.Errorf("emul: migration between unknown datacenters %s→%s", mv.From, mv.To)
+			}
+			machine, err := managers[fromIdx].Remove(mv.VM.ID)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := managers[toIdx].Place(machine); err != nil {
+				// Receiver full: put the VM back and skip the move.
+				if _, backErr := managers[fromIdx].Place(machine); backErr != nil {
+					return nil, fmt.Errorf("emul: lost VM %s: %v", machine.ID, backErr)
+				}
+				continue
+			}
+			diskPath := "/vm/" + machine.ID + "/disk"
+			pendingBytes, err := clients[fromIdx].PendingMigrationBytes(diskPath, gdfs.WorkerID(mv.To))
+			if err != nil {
+				return nil, err
+			}
+			result, err := migrate.Simulate(migrate.Plan{
+				VM:          machine,
+				From:        mv.From,
+				To:          mv.To,
+				DirtyDiskMB: float64(pendingBytes) / (1 << 20),
+			}, network, migrate.Options{EpochHours: cfg.MigrationFraction})
+			if err != nil {
+				return nil, err
+			}
+			// The conservative accounting charges the migration at both
+			// ends for MigrationFraction of the epoch.
+			migEnergyKWh[fromIdx] += result.ConservativeEnergyKWh
+			migEnergyKWh[toIdx] += result.ConservativeEnergyKWh
+			migBytes[fromIdx] += int64(result.TransferredMB * (1 << 20))
+			migIn[toIdx]++
+			migOut[fromIdx]++
+			vmHome[machine.ID] = toIdx
+			res.Migrations++
+		}
+		// Background GDFS re-replication catches the destinations up.
+		cluster.ReplicateOnce()
+
+		// Simulate the hour: VMs dirty disk blocks at their home site.
+		for _, machine := range cfg.VMs {
+			home := vmHome[machine.ID]
+			diskPath := "/vm/" + machine.ID + "/disk"
+			fi, err := master.Stat(diskPath)
+			if err != nil {
+				return nil, err
+			}
+			dirtyBlocks := int(machine.DiskDirtyMBPerHour*(1<<20)/float64(fi.BlockSize)) + 1
+			for b := 0; b < dirtyBlocks && b < len(fi.Blocks); b++ {
+				block := (hour*dirtyBlocks + b) % len(fi.Blocks)
+				if err := clients[home].WriteBlock(diskPath, block, make([]byte, fi.BlockSize)); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Record the trace for this hour.
+		for i, dc := range cfg.Datacenters {
+			loadKW := managers[i].VMs().TotalPowerW() / 1000
+			pue := pueTrace[i][absHour%len(pueTrace[i])]
+			overheadKW := loadKW * (pue - 1)
+			greenKW := greenTrace[i][absHour%len(greenTrace[i])]
+			migKW := migEnergyKWh[i] // one-hour epochs: kWh == kW
+			demandKW := loadKW + overheadKW + migKW
+			brownKW := demandKW - greenKW
+			if brownKW < 0 {
+				brownKW = 0
+			}
+			res.Trace = append(res.Trace, HourRecord{
+				Hour:           hour,
+				Datacenter:     dc.Name,
+				GreenKW:        greenKW,
+				LoadKW:         loadKW,
+				PUEOverheadKW:  overheadKW,
+				MigrationKW:    migKW,
+				BrownKW:        brownKW,
+				VMCount:        managers[i].VMCount(),
+				MigrationsIn:   migIn[i],
+				MigrationsOut:  migOut[i],
+				MigratedBytes:  migBytes[i],
+				SchedulerNanos: elapsed,
+			})
+			res.TotalDemandKWh += demandKW
+			res.TotalBrownKWh += brownKW
+			res.TotalGreenKWh += demandKW - brownKW
+			res.TotalMigrationKWh += migKW
+		}
+	}
+	if schedRounds > 0 {
+		res.AvgScheduleNanos = schedNanosTotal / schedRounds
+	}
+	if res.TotalDemandKWh > 0 {
+		res.GreenFraction = res.TotalGreenKWh / res.TotalDemandKWh
+	}
+	return res, nil
+}

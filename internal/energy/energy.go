@@ -1,0 +1,308 @@
+// Package energy models how a datacenter's power demand is met from on-site
+// green production, energy storage (batteries or grid net metering) and
+// brown grid power over a chronological sequence of epochs.
+//
+// It implements the storage-related constraints of the paper's optimization
+// problem (battery level evolution with charging efficiency, net-metering
+// account that can never go negative, brown power capped by the nearest
+// plant) as a greedy chronological simulation: surplus green energy is
+// stored, deficits are covered first from storage and then from the grid.
+// The placement optimizer's fast evaluator and the GreenNebula emulation
+// both build on this package.
+package energy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StorageMode selects how surplus green energy can be carried across epochs.
+type StorageMode int
+
+const (
+	// NoStorage discards any surplus green energy.
+	NoStorage StorageMode = iota + 1
+	// NetMetering banks surplus energy in the grid and draws it back
+	// later (the paper's netLevel account, always ≥ 0).
+	NetMetering
+	// Batteries stores surplus energy in on-site batteries with a
+	// round-trip charging efficiency and a capacity limit.
+	Batteries
+)
+
+var storageNames = map[StorageMode]string{
+	NoStorage:   "none",
+	NetMetering: "net-metering",
+	Batteries:   "batteries",
+}
+
+// String returns the storage mode name.
+func (m StorageMode) String() string {
+	if s, ok := storageNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("storage(%d)", int(m))
+}
+
+// BalanceInput describes one site-year (or any chronological horizon) to
+// balance.  All slices must have the same length; epoch i represents
+// Weights[i] hours.
+type BalanceInput struct {
+	// GreenKW is the on-site green production per epoch (kW).
+	GreenKW []float64
+	// DemandKW is the total power demand per epoch (kW), already
+	// including PUE overhead and migration overhead.
+	DemandKW []float64
+	// Weights is the number of hours each epoch represents.
+	Weights []float64
+	// Mode selects the storage technology.
+	Mode StorageMode
+	// BatteryCapacityKWh is the battery bank size (Batteries mode only).
+	BatteryCapacityKWh float64
+	// BatteryEfficiency is the charging efficiency in (0,1].
+	BatteryEfficiency float64
+	// MaxBrownKW caps the power that can be drawn from the grid
+	// (the nearest-plant constraint); zero means unlimited.
+	MaxBrownKW float64
+	// InitialBatteryKWh is the battery charge at the start of the horizon.
+	InitialBatteryKWh float64
+}
+
+// BalanceResult reports how demand was met in each epoch and the yearly
+// totals the cost model and the green-fraction constraint need.
+type BalanceResult struct {
+	// Per-epoch series (kW, except levels in kWh at the end of the epoch).
+	BrownKW         []float64
+	GreenUsedKW     []float64
+	BattChargeKW    []float64
+	BattDischargeKW []float64
+	NetChargeKW     []float64
+	NetDischargeKW  []float64
+	BatteryLevelKWh []float64
+	NetLevelKWh     []float64
+	// UnmetKW is demand that could not be covered (only possible when
+	// MaxBrownKW caps grid power); a feasible provisioning has all zeros.
+	UnmetKW []float64
+
+	// Yearly totals in kWh.
+	DemandKWh         float64
+	GreenProducedKWh  float64
+	GreenUsedKWh      float64
+	BrownKWh          float64
+	NetChargedKWh     float64
+	NetDischargedKWh  float64
+	BattDischargedKWh float64
+	UnmetKWh          float64
+}
+
+// Errors returned by Balance.
+var (
+	ErrLengthMismatch = errors.New("energy: green, demand and weight series must have equal length")
+	ErrBadEfficiency  = errors.New("energy: battery efficiency must be in (0,1]")
+	ErrBadMode        = errors.New("energy: unknown storage mode")
+)
+
+// GreenFraction returns the fraction of the demand that was covered by green
+// sources (direct use, battery discharge, or net-metered credit), the metric
+// the paper's minGreen constraint is written against.
+func (r *BalanceResult) GreenFraction() float64 {
+	if r.DemandKWh <= 0 {
+		return 1
+	}
+	green := r.GreenUsedKWh + r.BattDischargedKWh + r.NetDischargedKWh
+	f := green / r.DemandKWh
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Feasible reports whether every epoch's demand was fully met.
+func (r *BalanceResult) Feasible() bool { return r.UnmetKWh < 1e-6 }
+
+// Balance runs the chronological greedy storage simulation.
+func Balance(in BalanceInput) (*BalanceResult, error) {
+	n := len(in.GreenKW)
+	if len(in.DemandKW) != n || len(in.Weights) != n {
+		return nil, ErrLengthMismatch
+	}
+	switch in.Mode {
+	case NoStorage, NetMetering, Batteries:
+	default:
+		return nil, ErrBadMode
+	}
+	eff := in.BatteryEfficiency
+	if in.Mode == Batteries {
+		if eff <= 0 || eff > 1 {
+			return nil, ErrBadEfficiency
+		}
+	} else {
+		eff = 1
+	}
+
+	r := &BalanceResult{
+		BrownKW:         make([]float64, n),
+		GreenUsedKW:     make([]float64, n),
+		BattChargeKW:    make([]float64, n),
+		BattDischargeKW: make([]float64, n),
+		NetChargeKW:     make([]float64, n),
+		NetDischargeKW:  make([]float64, n),
+		BatteryLevelKWh: make([]float64, n),
+		NetLevelKWh:     make([]float64, n),
+		UnmetKW:         make([]float64, n),
+	}
+
+	battLevel := in.InitialBatteryKWh
+	if battLevel > in.BatteryCapacityKWh {
+		battLevel = in.BatteryCapacityKWh
+	}
+	netLevel := 0.0
+
+	for i := 0; i < n; i++ {
+		hours := in.Weights[i]
+		if hours <= 0 {
+			return nil, fmt.Errorf("energy: epoch %d has non-positive weight %v", i, hours)
+		}
+		green := nonNegative(in.GreenKW[i])
+		demand := nonNegative(in.DemandKW[i])
+		r.DemandKWh += demand * hours
+		r.GreenProducedKWh += green * hours
+
+		// 1. Use green production directly.
+		direct := green
+		if direct > demand {
+			direct = demand
+		}
+		r.GreenUsedKW[i] = direct
+		r.GreenUsedKWh += direct * hours
+		surplus := green - direct
+		deficit := demand - direct
+
+		// 2. Store surplus.
+		switch in.Mode {
+		case Batteries:
+			if surplus > 0 && battLevel < in.BatteryCapacityKWh {
+				// Power we can absorb this epoch limited by remaining capacity.
+				room := in.BatteryCapacityKWh - battLevel
+				chargePow := surplus
+				if chargePow*eff*hours > room {
+					chargePow = room / (eff * hours)
+				}
+				battLevel += chargePow * eff * hours
+				r.BattChargeKW[i] = chargePow
+			}
+		case NetMetering:
+			if surplus > 0 {
+				netLevel += surplus * hours
+				r.NetChargeKW[i] = surplus
+				r.NetChargedKWh += surplus * hours
+			}
+		case NoStorage:
+			// Surplus is curtailed.
+		}
+
+		// 3. Cover the deficit: storage first, then brown power.
+		if deficit > 0 {
+			switch in.Mode {
+			case Batteries:
+				dischargePow := deficit
+				if dischargePow*hours > battLevel {
+					dischargePow = battLevel / hours
+				}
+				battLevel -= dischargePow * hours
+				r.BattDischargeKW[i] = dischargePow
+				r.BattDischargedKWh += dischargePow * hours
+				deficit -= dischargePow
+			case NetMetering:
+				dischargePow := deficit
+				if dischargePow*hours > netLevel {
+					dischargePow = netLevel / hours
+				}
+				netLevel -= dischargePow * hours
+				r.NetDischargeKW[i] = dischargePow
+				r.NetDischargedKWh += dischargePow * hours
+				deficit -= dischargePow
+			}
+		}
+		if deficit > 0 {
+			brown := deficit
+			if in.MaxBrownKW > 0 && brown > in.MaxBrownKW {
+				brown = in.MaxBrownKW
+			}
+			r.BrownKW[i] = brown
+			r.BrownKWh += brown * hours
+			deficit -= brown
+		}
+		if deficit > 1e-12 {
+			r.UnmetKW[i] = deficit
+			r.UnmetKWh += deficit * hours
+		}
+
+		r.BatteryLevelKWh[i] = battLevel
+		r.NetLevelKWh[i] = netLevel
+	}
+	return r, nil
+}
+
+// RequiredPlantScale returns the multiplicative factor by which a green
+// plant's capacity must be scaled so that the balance reaches the target
+// green fraction, using bisection over scale.  greenPerKW is the per-epoch
+// production of one kW of installed plant; the other inputs are as in
+// Balance.  It returns the smallest scale in [0, maxScale] that reaches the
+// target, or maxScale if even that is insufficient (the caller then knows
+// the target is unreachable with this source mix).
+func RequiredPlantScale(greenPerKW, demandKW, weights []float64, mode StorageMode,
+	battCapKWhPerKW float64, battEff float64, target float64, maxScale float64) (float64, error) {
+	if target <= 0 {
+		return 0, nil
+	}
+	if maxScale <= 0 {
+		return 0, errors.New("energy: maxScale must be positive")
+	}
+	eval := func(scale float64) (float64, error) {
+		green := make([]float64, len(greenPerKW))
+		for i, g := range greenPerKW {
+			green[i] = g * scale
+		}
+		res, err := Balance(BalanceInput{
+			GreenKW:            green,
+			DemandKW:           demandKW,
+			Weights:            weights,
+			Mode:               mode,
+			BatteryCapacityKWh: battCapKWhPerKW * scale,
+			BatteryEfficiency:  battEff,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.GreenFraction(), nil
+	}
+	hiFrac, err := eval(maxScale)
+	if err != nil {
+		return 0, err
+	}
+	if hiFrac < target {
+		return maxScale, nil
+	}
+	lo, hi := 0.0, maxScale
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		frac, err := eval(mid)
+		if err != nil {
+			return 0, err
+		}
+		if frac >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+func nonNegative(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,282 @@
+package gdfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cluster bundles a master with the set of workers so clients and the
+// background re-replicator can reach every block store.  The stores may be
+// local (in-memory) or remote (rpc wrappers); the cluster does not care.
+type Cluster struct {
+	master *Master
+
+	mu     sync.RWMutex
+	stores map[WorkerID]BlockStore
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCluster returns a cluster around the given master.
+func NewCluster(master *Master) *Cluster {
+	return &Cluster{
+		master: master,
+		stores: make(map[WorkerID]BlockStore),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Master exposes the cluster's master.
+func (c *Cluster) Master() *Master { return c.master }
+
+// AddWorker registers a block store with the master and the cluster.
+func (c *Cluster) AddWorker(store BlockStore, datacenter string) error {
+	if err := c.master.RegisterWorker(store.ID(), datacenter); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stores[store.ID()] = store
+	return nil
+}
+
+// store returns the block store for a worker.
+func (c *Cluster) store(id WorkerID) (BlockStore, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.stores[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrWorkerNotFound, id)
+	}
+	return s, nil
+}
+
+// StartReplicator launches the background re-replication loop, which
+// periodically asks the master for under-replicated blocks and copies them.
+// Stop it with StopReplicator.
+func (c *Cluster) StartReplicator(interval time.Duration) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				c.ReplicateOnce()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// StopReplicator stops the background loop and waits for it to exit.  It is
+// safe to call even if StartReplicator was never called.
+func (c *Cluster) StopReplicator() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	select {
+	case <-c.done:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// ReplicateOnce performs one round of re-replication synchronously and
+// returns the number of blocks copied.
+func (c *Cluster) ReplicateOnce() int {
+	tasks := c.master.UnderReplicated()
+	copied := 0
+	for _, task := range tasks {
+		if err := c.copyBlock(task.Block, task.Source, task.Dest); err != nil {
+			continue
+		}
+		copied++
+	}
+	return copied
+}
+
+// copyBlock copies one block between workers and commits the new replica.
+func (c *Cluster) copyBlock(id BlockID, from, to WorkerID) error {
+	src, err := c.store(from)
+	if err != nil {
+		return err
+	}
+	dst, err := c.store(to)
+	if err != nil {
+		return err
+	}
+	data, err := src.ReadBlock(id)
+	if err != nil {
+		return err
+	}
+	if err := dst.WriteBlock(id, data); err != nil {
+		return err
+	}
+	return c.master.CommitReplica(id, to)
+}
+
+// Client is a GDFS client bound to one datacenter: writes go to the local
+// worker first, reads prefer the local replica.
+type Client struct {
+	cluster *Cluster
+	local   WorkerID
+}
+
+// NewClient returns a client whose local worker is the given one.
+func (c *Cluster) NewClient(local WorkerID) (*Client, error) {
+	if _, err := c.store(local); err != nil {
+		return nil, err
+	}
+	return &Client{cluster: c, local: local}, nil
+}
+
+// Create adds a file of the given size filled with zeroes, with its primary
+// replicas on the client's local worker.
+func (cl *Client) Create(path string, size int64) (*FileInfo, error) {
+	fi, err := cl.cluster.master.Create(path, size, cl.local)
+	if err != nil {
+		return nil, err
+	}
+	store, err := cl.cluster.store(cl.local)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range fi.Blocks {
+		bSize := fi.BlockSize
+		if i == len(fi.Blocks)-1 && fi.Size%fi.BlockSize != 0 {
+			bSize = fi.Size % fi.BlockSize
+		}
+		if err := store.WriteBlock(id, make([]byte, bSize)); err != nil {
+			return nil, err
+		}
+	}
+	return fi, nil
+}
+
+// WriteBlock overwrites one block of a file through the write-invalidate
+// protocol: write locally, then invalidate remote replicas at the master.
+// If the local worker has no valid replica and the write does not cover the
+// whole block, the client first fetches a copy from another datacenter, as
+// described in the paper.
+func (cl *Client) WriteBlock(path string, index int, data []byte) error {
+	fi, err := cl.cluster.master.Stat(path)
+	if err != nil {
+		return err
+	}
+	if index < 0 || index >= len(fi.Blocks) {
+		return fmt.Errorf("gdfs: block index %d out of range for %s", index, path)
+	}
+	id := fi.Blocks[index]
+	store, err := cl.cluster.store(cl.local)
+	if err != nil {
+		return err
+	}
+
+	loc, err := cl.cluster.master.BlockLocations(id)
+	if err != nil {
+		return err
+	}
+	localValid := containsWorker(loc.Valid, cl.local)
+	partial := int64(len(data)) < loc.Size
+	if !localValid && partial {
+		if err := cl.fetchBlock(id, loc); err != nil {
+			return err
+		}
+	}
+
+	// Merge a partial write over the existing local content.
+	var buf []byte
+	if partial && store.HasBlock(id) {
+		existing, err := store.ReadBlock(id)
+		if err != nil {
+			return err
+		}
+		buf = existing
+		copy(buf, data)
+	} else {
+		buf = data
+	}
+	if err := store.WriteBlock(id, buf); err != nil {
+		return err
+	}
+	return cl.cluster.master.CommitWrite(id, cl.local)
+}
+
+// ReadBlock reads one block of a file, preferring the local replica and
+// falling back to any valid remote replica.
+func (cl *Client) ReadBlock(path string, index int) ([]byte, error) {
+	fi, err := cl.cluster.master.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(fi.Blocks) {
+		return nil, fmt.Errorf("gdfs: block index %d out of range for %s", index, path)
+	}
+	id := fi.Blocks[index]
+	loc, err := cl.cluster.master.BlockLocations(id)
+	if err != nil {
+		return nil, err
+	}
+	if containsWorker(loc.Valid, cl.local) {
+		store, err := cl.cluster.store(cl.local)
+		if err != nil {
+			return nil, err
+		}
+		return store.ReadBlock(id)
+	}
+	for _, w := range loc.Valid {
+		store, err := cl.cluster.store(w)
+		if err != nil {
+			continue
+		}
+		data, err := store.ReadBlock(id)
+		if err == nil {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: block %d of %s", ErrNoValidReplica, id, path)
+}
+
+// fetchBlock pulls a valid replica of a block to the local worker and
+// registers it with the master.
+func (cl *Client) fetchBlock(id BlockID, loc *BlockInfo) error {
+	if len(loc.Valid) == 0 {
+		return fmt.Errorf("%w: block %d", ErrNoValidReplica, id)
+	}
+	var lastErr error
+	for _, w := range loc.Valid {
+		if err := cl.cluster.copyBlock(id, w, cl.local); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("gdfs: fetch failed")
+	}
+	return lastErr
+}
+
+// PendingMigrationBytes returns how many bytes of the file would have to be
+// shipped to move its workload to the given datacenter right now (the blocks
+// whose replica there is stale or missing).
+func (cl *Client) PendingMigrationBytes(path string, dest WorkerID) (int64, error) {
+	_, bytes, err := cl.cluster.master.StaleBlocksOn(path, dest)
+	return bytes, err
+}
+
+func containsWorker(list []WorkerID, id WorkerID) bool {
+	for _, w := range list {
+		if w == id {
+			return true
+		}
+	}
+	return false
+}

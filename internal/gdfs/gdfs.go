@@ -1,0 +1,344 @@
+// Package gdfs implements GreenNebula's multi-datacenter distributed file
+// system (GDFS), described in Section V-A of the paper.
+//
+// The design follows HDFS — a single master holds the namespace and block
+// metadata, workers (one or more per datacenter) store replicas of data
+// blocks — but, unlike HDFS, files are mutable.  Writes go to the local
+// replica and invalidate the remote replicas by updating the metadata at the
+// master; invalidated blocks are re-replicated in the background.  This keeps
+// write latency low while still allowing a virtual machine to migrate
+// between datacenters: only the recently modified blocks that have not been
+// re-replicated yet need to move with it.
+package gdfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBlockSize is the block size used when a file is created without an
+// explicit size (4 MiB keeps the emulation fast while remaining realistic).
+const DefaultBlockSize = 4 << 20
+
+// DefaultReplication is the target number of valid replicas per block.
+const DefaultReplication = 2
+
+// BlockID identifies a block globally.
+type BlockID int64
+
+// WorkerID identifies a worker (one per datacenter in the emulation).
+type WorkerID string
+
+// Errors returned by the master and clients.
+var (
+	ErrFileExists     = errors.New("gdfs: file already exists")
+	ErrFileNotFound   = errors.New("gdfs: file not found")
+	ErrBlockNotFound  = errors.New("gdfs: block not found")
+	ErrWorkerNotFound = errors.New("gdfs: worker not registered")
+	ErrNoValidReplica = errors.New("gdfs: no valid replica available")
+	ErrClosed         = errors.New("gdfs: master is closed")
+)
+
+// BlockInfo is the master's metadata for one block.
+type BlockInfo struct {
+	ID   BlockID
+	Size int64
+	// Valid lists workers holding an up-to-date replica.
+	Valid []WorkerID
+	// Stale lists workers holding an invalidated replica.
+	Stale []WorkerID
+}
+
+// FileInfo is the namespace entry for one file.
+type FileInfo struct {
+	Path      string
+	Size      int64
+	BlockSize int64
+	Blocks    []BlockID
+	Modified  time.Time
+}
+
+// Master holds the namespace and block metadata and plans re-replication.
+type Master struct {
+	mu          sync.Mutex
+	files       map[string]*FileInfo
+	blocks      map[BlockID]*blockMeta
+	workers     map[WorkerID]*workerMeta
+	nextBlockID BlockID
+	replication int
+	now         func() time.Time
+	closed      bool
+}
+
+type blockMeta struct {
+	id       BlockID
+	size     int64
+	replicas map[WorkerID]bool // true = valid, false = stale
+}
+
+type workerMeta struct {
+	id WorkerID
+	// datacenter groups workers for placement decisions.
+	datacenter string
+}
+
+// NewMaster returns a master with the given target replication factor
+// (DefaultReplication if zero or negative).
+func NewMaster(replication int) *Master {
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	return &Master{
+		files:       make(map[string]*FileInfo),
+		blocks:      make(map[BlockID]*blockMeta),
+		workers:     make(map[WorkerID]*workerMeta),
+		replication: replication,
+		now:         time.Now,
+	}
+}
+
+// RegisterWorker adds a worker to the cluster.
+func (m *Master) RegisterWorker(id WorkerID, datacenter string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.workers[id] = &workerMeta{id: id, datacenter: datacenter}
+	return nil
+}
+
+// Workers returns the registered worker IDs sorted for determinism.
+func (m *Master) Workers() []WorkerID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerID, 0, len(m.workers))
+	for id := range m.workers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Create adds a file of the given size to the namespace, allocating blocks
+// whose primary replica lives on the given worker.
+func (m *Master) Create(path string, size int64, primary WorkerID) (*FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := m.files[path]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileExists, path)
+	}
+	if _, ok := m.workers[primary]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrWorkerNotFound, primary)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("gdfs: negative file size %d", size)
+	}
+	blockSize := int64(DefaultBlockSize)
+	nBlocks := int((size + blockSize - 1) / blockSize)
+	fi := &FileInfo{Path: path, Size: size, BlockSize: blockSize, Modified: m.now()}
+	for i := 0; i < nBlocks; i++ {
+		bSize := blockSize
+		if i == nBlocks-1 && size%blockSize != 0 {
+			bSize = size % blockSize
+		}
+		m.nextBlockID++
+		id := m.nextBlockID
+		m.blocks[id] = &blockMeta{id: id, size: bSize, replicas: map[WorkerID]bool{primary: true}}
+		fi.Blocks = append(fi.Blocks, id)
+	}
+	m.files[path] = fi
+	return cloneFileInfo(fi), nil
+}
+
+// Stat returns the file's metadata.
+func (m *Master) Stat(path string) (*FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	return cloneFileInfo(fi), nil
+}
+
+// Delete removes a file and its block metadata.
+func (m *Master) Delete(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	for _, b := range fi.Blocks {
+		delete(m.blocks, b)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Files lists all paths in the namespace, sorted.
+func (m *Master) Files() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for p := range m.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlockLocations reports the block's replica state.
+func (m *Master) BlockLocations(id BlockID) (*BlockInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blockLocationsLocked(id)
+}
+
+func (m *Master) blockLocationsLocked(id BlockID) (*BlockInfo, error) {
+	b, ok := m.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBlockNotFound, id)
+	}
+	info := &BlockInfo{ID: id, Size: b.size}
+	for w, valid := range b.replicas {
+		if valid {
+			info.Valid = append(info.Valid, w)
+		} else {
+			info.Stale = append(info.Stale, w)
+		}
+	}
+	sort.Slice(info.Valid, func(i, j int) bool { return info.Valid[i] < info.Valid[j] })
+	sort.Slice(info.Stale, func(i, j int) bool { return info.Stale[i] < info.Stale[j] })
+	return info, nil
+}
+
+// CommitWrite records that a block was written on the given worker: that
+// replica becomes the only valid one and every other replica is invalidated
+// (the write-invalidate protocol of the paper).
+func (m *Master) CommitWrite(id BlockID, writer WorkerID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBlockNotFound, id)
+	}
+	if _, ok := m.workers[writer]; !ok {
+		return fmt.Errorf("%w: %s", ErrWorkerNotFound, writer)
+	}
+	for w := range b.replicas {
+		b.replicas[w] = false
+	}
+	b.replicas[writer] = true
+	return nil
+}
+
+// CommitReplica records that a worker now holds a valid copy of a block
+// (used after re-replication or a migration prefetch).
+func (m *Master) CommitReplica(id BlockID, holder WorkerID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blocks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBlockNotFound, id)
+	}
+	if _, ok := m.workers[holder]; !ok {
+		return fmt.Errorf("%w: %s", ErrWorkerNotFound, holder)
+	}
+	b.replicas[holder] = true
+	return nil
+}
+
+// ReplicationTask asks a destination worker to copy a block from a source.
+type ReplicationTask struct {
+	Block  BlockID
+	Source WorkerID
+	Dest   WorkerID
+}
+
+// UnderReplicated returns the blocks with fewer valid replicas than the
+// target, together with a plan of copies that would fix them.  The planner
+// prefers destinations that already hold a stale replica (they are the
+// cheapest to refresh) and otherwise picks workers that hold no replica.
+func (m *Master) UnderReplicated() []ReplicationTask {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var tasks []ReplicationTask
+	ids := make([]BlockID, 0, len(m.blocks))
+	for id := range m.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	workerIDs := make([]WorkerID, 0, len(m.workers))
+	for id := range m.workers {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Slice(workerIDs, func(i, j int) bool { return workerIDs[i] < workerIDs[j] })
+
+	for _, id := range ids {
+		b := m.blocks[id]
+		var valid, stale, absent []WorkerID
+		for _, w := range workerIDs {
+			v, ok := b.replicas[w]
+			switch {
+			case ok && v:
+				valid = append(valid, w)
+			case ok:
+				stale = append(stale, w)
+			default:
+				absent = append(absent, w)
+			}
+		}
+		if len(valid) == 0 || len(valid) >= m.replication {
+			continue
+		}
+		need := m.replication - len(valid)
+		dests := append(append([]WorkerID{}, stale...), absent...)
+		for i := 0; i < need && i < len(dests); i++ {
+			tasks = append(tasks, ReplicationTask{Block: id, Source: valid[0], Dest: dests[i]})
+		}
+	}
+	return tasks
+}
+
+// StaleBlocksOn returns the blocks of a file whose replica on the given
+// worker is stale or missing — exactly the data a VM migration must ship.
+func (m *Master) StaleBlocksOn(path string, worker WorkerID) ([]BlockID, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.files[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	var out []BlockID
+	var bytes int64
+	for _, id := range fi.Blocks {
+		b := m.blocks[id]
+		if valid, ok := b.replicas[worker]; !ok || !valid {
+			out = append(out, id)
+			bytes += b.size
+		}
+	}
+	return out, bytes, nil
+}
+
+// Close marks the master closed; subsequent mutations fail.
+func (m *Master) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+}
+
+func cloneFileInfo(fi *FileInfo) *FileInfo {
+	out := *fi
+	out.Blocks = make([]BlockID, len(fi.Blocks))
+	copy(out.Blocks, fi.Blocks)
+	return &out
+}

@@ -1,0 +1,205 @@
+package gdfs
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// The rpc layer lets a GDFS worker run in a different process (or machine)
+// than the cluster coordinator: WorkerServer exposes a Worker's BlockStore
+// over net/rpc, and RemoteStore is the client-side BlockStore that forwards
+// calls to it.  The emulation in this repository runs everything in-process,
+// but the networked path is exercised by the tests to show the design works
+// across real sockets.
+
+// WorkerServer serves a BlockStore over net/rpc.
+type WorkerServer struct {
+	store    BlockStore
+	listener net.Listener
+	server   *rpc.Server
+
+	mu      sync.Mutex
+	stopped bool
+	done    chan struct{}
+}
+
+// rpcService is the exported RPC receiver (its methods follow the net/rpc
+// convention: Method(args, reply) error).
+type rpcService struct {
+	store BlockStore
+}
+
+// WriteBlockArgs are the arguments of the WriteBlock RPC.
+type WriteBlockArgs struct {
+	ID   BlockID
+	Data []byte
+}
+
+// ReadBlockReply is the reply of the ReadBlock RPC.
+type ReadBlockReply struct {
+	Data []byte
+}
+
+// HasBlockReply is the reply of the HasBlock RPC.
+type HasBlockReply struct {
+	Has bool
+}
+
+// IDReply is the reply of the ID RPC.
+type IDReply struct {
+	ID WorkerID
+}
+
+// BytesReply is the reply of the BytesStored RPC.
+type BytesReply struct {
+	Bytes int64
+}
+
+// WriteBlock forwards to the underlying store.
+func (s *rpcService) WriteBlock(args WriteBlockArgs, _ *struct{}) error {
+	return s.store.WriteBlock(args.ID, args.Data)
+}
+
+// ReadBlock forwards to the underlying store.
+func (s *rpcService) ReadBlock(id BlockID, reply *ReadBlockReply) error {
+	data, err := s.store.ReadBlock(id)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	return nil
+}
+
+// HasBlock forwards to the underlying store.
+func (s *rpcService) HasBlock(id BlockID, reply *HasBlockReply) error {
+	reply.Has = s.store.HasBlock(id)
+	return nil
+}
+
+// DeleteBlock forwards to the underlying store.
+func (s *rpcService) DeleteBlock(id BlockID, _ *struct{}) error {
+	return s.store.DeleteBlock(id)
+}
+
+// ID forwards to the underlying store.
+func (s *rpcService) ID(_ struct{}, reply *IDReply) error {
+	reply.ID = s.store.ID()
+	return nil
+}
+
+// BytesStored forwards to the underlying store.
+func (s *rpcService) BytesStored(_ struct{}, reply *BytesReply) error {
+	reply.Bytes = s.store.BytesStored()
+	return nil
+}
+
+// ServeWorker starts serving the store on the given address ("host:port",
+// use "127.0.0.1:0" for an ephemeral port) and returns the running server.
+func ServeWorker(store BlockStore, addr string) (*WorkerServer, error) {
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gdfs: listen: %w", err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("GDFSWorker", &rpcService{store: store}); err != nil {
+		listener.Close()
+		return nil, fmt.Errorf("gdfs: register rpc: %w", err)
+	}
+	ws := &WorkerServer{store: store, listener: listener, server: srv, done: make(chan struct{})}
+	go ws.acceptLoop()
+	return ws, nil
+}
+
+func (ws *WorkerServer) acceptLoop() {
+	defer close(ws.done)
+	for {
+		conn, err := ws.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go ws.server.ServeConn(conn)
+	}
+}
+
+// Addr returns the address the server is listening on.
+func (ws *WorkerServer) Addr() string { return ws.listener.Addr().String() }
+
+// Close stops accepting connections and waits for the accept loop to exit.
+func (ws *WorkerServer) Close() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.stopped {
+		return nil
+	}
+	ws.stopped = true
+	err := ws.listener.Close()
+	<-ws.done
+	return err
+}
+
+// RemoteStore is a BlockStore backed by a WorkerServer across the network.
+type RemoteStore struct {
+	id     WorkerID
+	client *rpc.Client
+}
+
+var _ BlockStore = (*RemoteStore)(nil)
+
+// DialWorker connects to a remote worker and verifies its identity.
+func DialWorker(addr string) (*RemoteStore, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gdfs: dial %s: %w", addr, err)
+	}
+	var reply IDReply
+	if err := client.Call("GDFSWorker.ID", struct{}{}, &reply); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("gdfs: identify %s: %w", addr, err)
+	}
+	return &RemoteStore{id: reply.ID, client: client}, nil
+}
+
+// ID returns the remote worker's identity.
+func (r *RemoteStore) ID() WorkerID { return r.id }
+
+// WriteBlock forwards over RPC.
+func (r *RemoteStore) WriteBlock(id BlockID, data []byte) error {
+	return r.client.Call("GDFSWorker.WriteBlock", WriteBlockArgs{ID: id, Data: data}, &struct{}{})
+}
+
+// ReadBlock forwards over RPC.
+func (r *RemoteStore) ReadBlock(id BlockID) ([]byte, error) {
+	var reply ReadBlockReply
+	if err := r.client.Call("GDFSWorker.ReadBlock", id, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// HasBlock forwards over RPC.
+func (r *RemoteStore) HasBlock(id BlockID) bool {
+	var reply HasBlockReply
+	if err := r.client.Call("GDFSWorker.HasBlock", id, &reply); err != nil {
+		return false
+	}
+	return reply.Has
+}
+
+// DeleteBlock forwards over RPC.
+func (r *RemoteStore) DeleteBlock(id BlockID) error {
+	return r.client.Call("GDFSWorker.DeleteBlock", id, &struct{}{})
+}
+
+// BytesStored forwards over RPC.
+func (r *RemoteStore) BytesStored() int64 {
+	var reply BytesReply
+	if err := r.client.Call("GDFSWorker.BytesStored", struct{}{}, &reply); err != nil {
+		return 0
+	}
+	return reply.Bytes
+}
+
+// Close closes the RPC connection.
+func (r *RemoteStore) Close() error { return r.client.Close() }

@@ -1,0 +1,91 @@
+package gdfs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockStore is the interface a worker exposes to clients and to other
+// workers (for re-replication).  The in-memory Worker implements it
+// directly; the rpc package wraps it for networked deployments.
+type BlockStore interface {
+	// ID returns the worker's identity.
+	ID() WorkerID
+	// WriteBlock stores (or overwrites) a block replica.
+	WriteBlock(id BlockID, data []byte) error
+	// ReadBlock returns a copy of a block replica.
+	ReadBlock(id BlockID) ([]byte, error)
+	// HasBlock reports whether the worker holds a replica (valid or stale).
+	HasBlock(id BlockID) bool
+	// DeleteBlock removes a replica.
+	DeleteBlock(id BlockID) error
+	// BytesStored returns the total bytes held.
+	BytesStored() int64
+}
+
+// Worker is an in-memory block store, one per datacenter in the emulation.
+type Worker struct {
+	id   WorkerID
+	mu   sync.RWMutex
+	data map[BlockID][]byte
+}
+
+var _ BlockStore = (*Worker)(nil)
+
+// NewWorker returns an empty worker.
+func NewWorker(id WorkerID) *Worker {
+	return &Worker{id: id, data: make(map[BlockID][]byte)}
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() WorkerID { return w.id }
+
+// WriteBlock stores a copy of data as the block's replica.
+func (w *Worker) WriteBlock(id BlockID, data []byte) error {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.data[id] = buf
+	return nil
+}
+
+// ReadBlock returns a copy of the block's replica.
+func (w *Worker) ReadBlock(id BlockID) ([]byte, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	data, ok := w.data[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: block %d on worker %s", ErrBlockNotFound, id, w.id)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// HasBlock reports whether the worker holds the block.
+func (w *Worker) HasBlock(id BlockID) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, ok := w.data[id]
+	return ok
+}
+
+// DeleteBlock removes the block's replica if present.
+func (w *Worker) DeleteBlock(id BlockID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.data, id)
+	return nil
+}
+
+// BytesStored returns the total bytes held by the worker.
+func (w *Worker) BytesStored() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var total int64
+	for _, d := range w.data {
+		total += int64(len(d))
+	}
+	return total
+}

@@ -1,0 +1,665 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs.
+//
+// The paper formulates both the siting/provisioning problem and GreenNebula's
+// 48-hour workload-partitioning problem as (mixed-integer) linear programs
+// and solves them with an off-the-shelf solver.  This package is the
+// from-scratch substitute: it supports minimization and maximization,
+// less-than, greater-than and equality constraints, variable lower/upper
+// bounds, and reports infeasibility and unboundedness.  internal/milp adds
+// branch and bound on top for integer variables.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota + 1 // left-hand side ≤ rhs
+	GE               // left-hand side ≥ rhs
+	EQ               // left-hand side = rhs
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "?"
+	}
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String returns a human-readable status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Var is an opaque handle to a decision variable.
+type Var int
+
+// Term is one coefficient×variable term of a constraint.
+type Term struct {
+	Var   Var
+	Coeff float64
+}
+
+// Infinity marks an unbounded variable upper bound.
+var Infinity = math.Inf(1)
+
+// variable holds the model-level description of a decision variable.
+type variable struct {
+	name string
+	lb   float64
+	ub   float64
+	cost float64
+}
+
+// constraint holds one row of the model.
+type constraint struct {
+	name  string
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction.  It is not safe for
+// concurrent mutation.
+type Problem struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewProblem returns an empty problem with the given sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVariable adds a decision variable with bounds [lb, ub] (ub may be
+// Infinity) and the given objective coefficient, returning its handle.
+func (p *Problem) AddVariable(name string, lb, ub, cost float64) (Var, error) {
+	if math.IsNaN(lb) || math.IsNaN(ub) || math.IsNaN(cost) {
+		return -1, fmt.Errorf("lp: variable %q has NaN bounds or cost", name)
+	}
+	if ub < lb {
+		return -1, fmt.Errorf("lp: variable %q has upper bound %v below lower bound %v", name, ub, lb)
+	}
+	p.vars = append(p.vars, variable{name: name, lb: lb, ub: ub, cost: cost})
+	return Var(len(p.vars) - 1), nil
+}
+
+// MustVariable is AddVariable that panics on error; for construction code
+// with constant, known-good arguments.
+func (p *Problem) MustVariable(name string, lb, ub, cost float64) Var {
+	v, err := p.AddVariable(name, lb, ub, cost)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// SetCost overrides the objective coefficient of an existing variable.
+func (p *Problem) SetCost(v Var, cost float64) error {
+	if int(v) < 0 || int(v) >= len(p.vars) {
+		return fmt.Errorf("lp: unknown variable %d", v)
+	}
+	p.vars[v].cost = cost
+	return nil
+}
+
+// AddConstraint adds a linear constraint Σ terms (op) rhs.
+func (p *Problem) AddConstraint(name string, op Op, rhs float64, terms ...Term) error {
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: constraint %q has invalid operator", name)
+	}
+	if math.IsNaN(rhs) {
+		return fmt.Errorf("lp: constraint %q has NaN right-hand side", name)
+	}
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.vars) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
+		}
+		if math.IsNaN(t.Coeff) {
+			return fmt.Errorf("lp: constraint %q has NaN coefficient", name)
+		}
+	}
+	copied := make([]Term, len(terms))
+	copy(copied, terms)
+	p.cons = append(p.cons, constraint{name: name, terms: copied, op: op, rhs: rhs})
+	return nil
+}
+
+// NumVariables returns the number of decision variables added so far.
+func (p *Problem) NumVariables() int { return len(p.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// Solution is the result of solving a problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+	values    []float64
+}
+
+// Value returns the optimal value of a variable.
+func (s *Solution) Value(v Var) float64 {
+	if s == nil || int(v) < 0 || int(v) >= len(s.values) {
+		return math.NaN()
+	}
+	return s.values[v]
+}
+
+// Values returns a copy of all variable values in declaration order.
+func (s *Solution) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrNumeric    = errors.New("lp: numerical failure (iteration limit reached)")
+)
+
+const (
+	epsilon      = 1e-9
+	pivotEpsilon = 1e-10
+)
+
+// Solve runs the two-phase simplex method.  On success the returned Solution
+// has Status Optimal; infeasible and unbounded problems return a Solution
+// with the corresponding status together with ErrInfeasible or ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	std, err := p.standardize()
+	if err != nil {
+		return nil, err
+	}
+	status, values, obj := std.simplex()
+	switch status {
+	case Infeasible:
+		return &Solution{Status: Infeasible}, ErrInfeasible
+	case Unbounded:
+		return &Solution{Status: Unbounded}, ErrUnbounded
+	case Optimal:
+		orig := std.recover(values)
+		// Recompute the objective from the original variables so that
+		// lower-bound shifts and sense flips cannot skew it.
+		obj = 0
+		for j, v := range p.vars {
+			obj += v.cost * orig[j]
+		}
+		return &Solution{Status: Optimal, Objective: obj, values: orig}, nil
+	default:
+		return nil, ErrNumeric
+	}
+}
+
+// standard is the problem in computational standard form:
+// minimize c·y subject to A·y = b, y ≥ 0, b ≥ 0.
+type standard struct {
+	// a has one row per constraint over nTotal columns (structural +
+	// slack/surplus + artificial).
+	a [][]float64
+	b []float64
+	c []float64
+	// nStruct is the number of structural (shifted original) columns.
+	nStruct int
+	// nTotal excludes artificial columns.
+	nTotal int
+	// artificial[i] is the artificial column for row i, or -1.
+	artificial []int
+	// shift maps original variable index to its lower bound (y = x − lb).
+	shift []float64
+	// negPart[j] is the column index of the negative part of original
+	// variable j when it is free (split x = x⁺ − x⁻), or -1.
+	negPart []int
+}
+
+// standardize converts the model into computational standard form.
+func (p *Problem) standardize() (*standard, error) {
+	n := len(p.vars)
+	std := &standard{
+		shift:   make([]float64, n),
+		negPart: make([]int, n),
+	}
+
+	// Structural columns: one per variable, plus one extra per free
+	// variable (x = x⁺ − x⁻ when lb = −inf).
+	col := 0
+	colOf := make([]int, n)
+	for j, v := range p.vars {
+		colOf[j] = col
+		std.negPart[j] = -1
+		if math.IsInf(v.lb, -1) {
+			std.shift[j] = 0
+			col++
+			std.negPart[j] = col
+			col++
+		} else {
+			std.shift[j] = v.lb
+			col++
+		}
+	}
+	std.nStruct = col
+
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+
+	// Rows: original constraints plus upper-bound rows.
+	type row struct {
+		coeffs map[int]float64
+		op     Op
+		rhs    float64
+	}
+	rows := make([]row, 0, len(p.cons)+n)
+	for _, c := range p.cons {
+		r := row{coeffs: make(map[int]float64, len(c.terms)), op: c.op, rhs: c.rhs}
+		for _, t := range c.terms {
+			j := int(t.Var)
+			r.rhs -= t.Coeff * std.shift[j]
+			r.coeffs[colOf[j]] += t.Coeff
+			if std.negPart[j] >= 0 {
+				r.coeffs[std.negPart[j]] -= t.Coeff
+			}
+		}
+		rows = append(rows, r)
+	}
+	for j, v := range p.vars {
+		if math.IsInf(v.ub, 1) {
+			continue
+		}
+		r := row{coeffs: map[int]float64{colOf[j]: 1}, op: LE, rhs: v.ub - std.shift[j]}
+		if std.negPart[j] >= 0 {
+			r.coeffs[std.negPart[j]] = -1
+		}
+		rows = append(rows, r)
+	}
+
+	m := len(rows)
+	// Count slack/surplus columns.
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	std.nTotal = std.nStruct + nSlack
+	totalCols := std.nTotal + m // worst case: one artificial per row
+
+	std.a = make([][]float64, m)
+	std.b = make([]float64, m)
+	std.c = make([]float64, totalCols)
+	std.artificial = make([]int, m)
+
+	// Objective over structural columns.
+	for j, v := range p.vars {
+		std.c[colOf[j]] = sign * v.cost
+		if std.negPart[j] >= 0 {
+			std.c[std.negPart[j]] = -sign * v.cost
+		}
+	}
+
+	slackCol := std.nStruct
+	artCol := std.nTotal
+	for i, r := range rows {
+		std.a[i] = make([]float64, totalCols)
+		for cidx, coef := range r.coeffs {
+			std.a[i][cidx] = coef
+		}
+		std.b[i] = r.rhs
+		op := r.op
+		// Normalize to b ≥ 0.
+		if std.b[i] < 0 {
+			for j := range std.a[i] {
+				std.a[i][j] = -std.a[i][j]
+			}
+			std.b[i] = -std.b[i]
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			std.a[i][slackCol] = 1
+			std.artificial[i] = -1
+			// The slack itself can serve as the initial basic variable.
+			slackCol++
+		case GE:
+			std.a[i][slackCol] = -1
+			slackCol++
+			std.a[i][artCol] = 1
+			std.artificial[i] = artCol
+			artCol++
+		case EQ:
+			std.a[i][artCol] = 1
+			std.artificial[i] = artCol
+			artCol++
+		}
+	}
+	// Trim unused artificial columns.
+	used := artCol
+	for i := range std.a {
+		std.a[i] = std.a[i][:used]
+	}
+	std.c = std.c[:used]
+	return std, nil
+}
+
+// simplex runs phase 1 (if artificials exist) and phase 2 on the standard
+// form, returning the status, the values of all standard-form columns, and
+// the phase-2 objective.
+func (s *standard) simplex() (Status, []float64, float64) {
+	m := len(s.a)
+	totalCols := 0
+	if m > 0 {
+		totalCols = len(s.a[0])
+	} else {
+		totalCols = len(s.c)
+	}
+	basis := make([]int, m)
+
+	// Initial basis: slack where available, artificial otherwise.
+	for i := 0; i < m; i++ {
+		if s.artificial[i] >= 0 {
+			basis[i] = s.artificial[i]
+			continue
+		}
+		// Find the slack column of this row: the column in
+		// [nStruct, nTotal) with coefficient +1 and zeros elsewhere in
+		// that column is guaranteed by construction; locate it.
+		basis[i] = -1
+		for j := s.nStruct; j < s.nTotal; j++ {
+			if s.a[i][j] == 1 {
+				// Ensure this slack belongs to row i alone.
+				unique := true
+				for k := 0; k < m; k++ {
+					if k != i && s.a[k][j] != 0 {
+						unique = false
+						break
+					}
+				}
+				if unique {
+					basis[i] = j
+					break
+				}
+			}
+		}
+		if basis[i] == -1 {
+			// Should not happen by construction; fall back to an artificial.
+			basis[i] = s.artificial[i]
+		}
+	}
+
+	// Tableau: copy of A and b that will be pivoted in place.
+	tab := make([][]float64, m)
+	for i := range tab {
+		tab[i] = make([]float64, totalCols)
+		copy(tab[i], s.a[i])
+	}
+	rhs := make([]float64, m)
+	copy(rhs, s.b)
+
+	hasArtificial := false
+	for i := range s.artificial {
+		if s.artificial[i] >= 0 {
+			hasArtificial = true
+			break
+		}
+	}
+
+	if hasArtificial {
+		// Phase 1: minimize the sum of artificial variables.
+		phase1Cost := make([]float64, totalCols)
+		for i := range s.artificial {
+			if s.artificial[i] >= 0 {
+				phase1Cost[s.artificial[i]] = 1
+			}
+		}
+		status, obj := runSimplex(tab, rhs, basis, phase1Cost, nil)
+		if status != Optimal {
+			return Infeasible, nil, 0
+		}
+		if obj > 1e-6 {
+			return Infeasible, nil, 0
+		}
+		// Drive any artificial still in the basis out of it (degenerate rows).
+		for i := 0; i < m; i++ {
+			if !isArtificialCol(s, basis[i]) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < s.nTotal; j++ {
+				if math.Abs(tab[i][j]) > pivotEpsilon {
+					pivot(tab, rhs, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// The row is redundant; leave the artificial basic at zero.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns forbidden.
+	forbidden := make([]bool, totalCols)
+	for j := s.nTotal; j < totalCols; j++ {
+		forbidden[j] = true
+	}
+	status, obj := runSimplex(tab, rhs, basis, s.c, forbidden)
+	if status != Optimal {
+		return status, nil, 0
+	}
+
+	values := make([]float64, totalCols)
+	for i, bi := range basis {
+		if bi >= 0 && bi < totalCols {
+			values[bi] = rhs[i]
+		}
+	}
+	return Optimal, values, obj
+}
+
+func isArtificialCol(s *standard, col int) bool { return col >= s.nTotal }
+
+// runSimplex performs primal simplex iterations on the tableau in place with
+// the given objective, returning the status and the objective value.
+func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, forbidden []bool) (Status, float64) {
+	m := len(tab)
+	if m == 0 {
+		// No rows: every standard-form variable is only bounded below by
+		// zero, so any negative cost direction is unbounded.
+		for j, cj := range cost {
+			if forbidden != nil && forbidden[j] {
+				continue
+			}
+			if cj < -epsilon {
+				return Unbounded, 0
+			}
+		}
+		return Optimal, 0
+	}
+	n := len(tab[0])
+	maxIter := 30 * (m + n)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	// Dantzig's rule stalls on highly degenerate provisioning LPs; switch to
+	// Bland's rule (which cannot cycle) once the iteration count suggests
+	// stalling.
+	blandAfter := 4 * (m + n)
+
+	reduced := make([]float64, n)
+	y := make([]float64, m)
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Compute the simplex multipliers implicitly: because the tableau is
+		// kept in canonical form (basis columns are unit vectors), the
+		// reduced cost of column j is cost[j] − Σ_i cost[basis[i]]·tab[i][j].
+		for i := 0; i < m; i++ {
+			y[i] = cost[basis[i]]
+		}
+		entering := -1
+		best := -epsilon
+		useBland := iter > blandAfter
+		for j := 0; j < n; j++ {
+			if forbidden != nil && forbidden[j] {
+				continue
+			}
+			if isBasic(basis, j) {
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				if y[i] != 0 && tab[i][j] != 0 {
+					r -= y[i] * tab[i][j]
+				}
+			}
+			reduced[j] = r
+			if useBland {
+				if r < -epsilon {
+					entering = j
+					break
+				}
+			} else if r < best {
+				best = r
+				entering = j
+			}
+		}
+		if entering == -1 {
+			// Optimal: compute objective.
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				obj += cost[basis[i]] * rhs[i]
+			}
+			return Optimal, obj
+		}
+
+		// Ratio test.
+		leaving := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][entering] > pivotEpsilon {
+				ratio := rhs[i] / tab[i][entering]
+				if ratio < bestRatio-epsilon ||
+					(math.Abs(ratio-bestRatio) <= epsilon && (leaving == -1 || basis[i] < basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return Unbounded, 0
+		}
+		pivot(tab, rhs, basis, leaving, entering)
+	}
+	// Iteration limit: report unbounded-like numeric trouble as infeasible
+	// conservatively; callers treat any non-optimal status as failure.
+	return Infeasible, 0
+}
+
+func isBasic(basis []int, col int) bool {
+	for _, b := range basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(tab [][]float64, rhs []float64, basis []int, row, col int) {
+	m := len(tab)
+	n := len(tab[0])
+	pv := tab[row][col]
+	inv := 1 / pv
+	for j := 0; j < n; j++ {
+		tab[row][j] *= inv
+	}
+	rhs[row] *= inv
+	tab[row][col] = 1 // avoid drift
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		rowI := tab[i]
+		rowR := tab[row]
+		for j := 0; j < n; j++ {
+			rowI[j] -= factor * rowR[j]
+		}
+		rowI[col] = 0
+		rhs[i] -= factor * rhs[row]
+		if rhs[i] < 0 && rhs[i] > -1e-11 {
+			rhs[i] = 0
+		}
+	}
+	basis[row] = col
+}
+
+// recover maps standard-form column values back to the original variables.
+func (s *standard) recover(values []float64) []float64 {
+	out := make([]float64, len(s.shift))
+	col := 0
+	for j := range s.shift {
+		v := values[col]
+		col++
+		if s.negPart[j] >= 0 {
+			v -= values[s.negPart[j]]
+			col++
+		}
+		out[j] = v + s.shift[j]
+	}
+	return out
+}

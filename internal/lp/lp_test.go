@@ -1,0 +1,394 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximization(t *testing.T) {
+	// maximize 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  → x=2, y=6, obj=36.
+	p := NewProblem(Maximize)
+	x := p.MustVariable("x", 0, Infinity, 3)
+	y := p.MustVariable("y", 0, Infinity, 5)
+	if err := p.AddConstraint("c1", LE, 4, Term{x, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("c2", LE, 12, Term{y, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("c3", LE, 18, Term{x, 3}, Term{y, 2}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Objective, 36, 1e-6) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 2, 1e-6) || !almostEqual(sol.Value(y), 6, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (2, 6)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSimpleMinimizationWithGE(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y ≥ 10, x ≥ 2, y ≥ 3  → x=7, y=3, obj=23.
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 2, Infinity, 2)
+	y := p.MustVariable("y", 3, Infinity, 3)
+	if err := p.AddConstraint("demand", GE, 10, Term{x, 1}, Term{y, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Objective, 23, 1e-6) {
+		t.Errorf("objective = %v, want 23", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x), 7, 1e-6) || !almostEqual(sol.Value(y), 3, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (7, 3)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 5, x ≤ 3 → x=3, y=2, obj=7.
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 0, 3, 1)
+	y := p.MustVariable("y", 0, Infinity, 2)
+	if err := p.AddConstraint("eq", EQ, 5, Term{x, 1}, Term{y, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Objective, 7, 1e-6) {
+		t.Errorf("objective = %v, want 7", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 0, 1, 1)
+	if err := p.AddConstraint("impossible", GE, 10, Term{x, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.MustVariable("x", 0, Infinity, 1)
+	y := p.MustVariable("y", 0, Infinity, 1)
+	if err := p.AddConstraint("c", GE, 1, Term{x, 1}, Term{y, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// minimize x s.t. −x ≤ −5  (i.e. x ≥ 5) → x=5.
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 0, Infinity, 1)
+	if err := p.AddConstraint("c", LE, -5, Term{x, -1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Value(x), 5, 1e-6) {
+		t.Errorf("x = %v, want 5", sol.Value(x))
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// minimize |ish| objective with a free variable:
+	// minimize 2x s.t. x ≥ −7 is unbounded below for cost>0? No: cost 2x with
+	// x free and constraint x ≥ −7 → optimum at x=−7, obj=−14.
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", math.Inf(-1), Infinity, 2)
+	if err := p.AddConstraint("lb", GE, -7, Term{x, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Value(x), -7, 1e-6) {
+		t.Errorf("x = %v, want -7", sol.Value(x))
+	}
+	if !almostEqual(sol.Objective, -14, 1e-6) {
+		t.Errorf("objective = %v, want -14", sol.Objective)
+	}
+}
+
+func TestVariableBoundsOnly(t *testing.T) {
+	// No constraints at all: minimize 3x − y with 1 ≤ x ≤ 4, 0 ≤ y ≤ 2.
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 1, 4, 3)
+	y := p.MustVariable("y", 0, 2, -1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Value(x), 1, 1e-6) || !almostEqual(sol.Value(y), 2, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (1, 2)", sol.Value(x), sol.Value(y))
+	}
+	if !almostEqual(sol.Objective, 1, 1e-6) {
+		t.Errorf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// A classic degenerate LP still solves: maximize 2x+y with redundant
+	// constraints meeting at the same vertex.
+	p := NewProblem(Maximize)
+	x := p.MustVariable("x", 0, Infinity, 2)
+	y := p.MustVariable("y", 0, Infinity, 1)
+	for _, c := range []struct {
+		rhs float64
+		tx  float64
+		ty  float64
+	}{{4, 1, 1}, {4, 1, 1}, {8, 2, 2}, {4, 1, 0}} {
+		if err := p.AddConstraint("c", LE, c.rhs, Term{x, c.tx}, Term{y, c.ty}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Objective, 8, 1e-6) {
+		t.Errorf("objective = %v, want 8", sol.Objective)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	p := NewProblem(Minimize)
+	if _, err := p.AddVariable("bad", 5, 1, 0); err == nil {
+		t.Error("ub < lb should error")
+	}
+	if _, err := p.AddVariable("nan", math.NaN(), 1, 0); err == nil {
+		t.Error("NaN bound should error")
+	}
+	x := p.MustVariable("x", 0, 1, 1)
+	if err := p.AddConstraint("bad-op", Op(0), 1, Term{x, 1}); err == nil {
+		t.Error("invalid op should error")
+	}
+	if err := p.AddConstraint("bad-var", LE, 1, Term{Var(99), 1}); err == nil {
+		t.Error("unknown variable should error")
+	}
+	if err := p.AddConstraint("nan-rhs", LE, math.NaN(), Term{x, 1}); err == nil {
+		t.Error("NaN rhs should error")
+	}
+	if err := p.AddConstraint("nan-coeff", LE, 1, Term{x, math.NaN()}); err == nil {
+		t.Error("NaN coefficient should error")
+	}
+	if err := p.SetCost(Var(5), 1); err == nil {
+		t.Error("SetCost on unknown variable should error")
+	}
+	if err := p.SetCost(x, 3); err != nil {
+		t.Errorf("SetCost: %v", err)
+	}
+	if p.NumVariables() != 1 || p.NumConstraints() != 0 {
+		t.Errorf("counts = %d/%d", p.NumVariables(), p.NumConstraints())
+	}
+}
+
+func TestSolutionValueOutOfRange(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 0, 1, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(sol.Value(Var(99))) {
+		t.Error("out-of-range Value should be NaN")
+	}
+	if len(sol.Values()) != 1 {
+		t.Error("Values() length mismatch")
+	}
+	_ = x
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// Two plants (capacity 30, 40), three demands (20, 25, 25); cost matrix
+	// chosen so the optimum is known.  Classic balanced transportation LP.
+	cost := [2][3]float64{{2, 3, 1}, {5, 4, 8}}
+	supply := []float64{30, 40}
+	demand := []float64{20, 25, 25}
+	p := NewProblem(Minimize)
+	var xs [2][3]Var
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			xs[i][j] = p.MustVariable("x", 0, Infinity, cost[i][j])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.AddConstraint("supply", LE, supply[i],
+			Term{xs[i][0], 1}, Term{xs[i][1], 1}, Term{xs[i][2], 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		if err := p.AddConstraint("demand", GE, demand[j],
+			Term{xs[0][j], 1}, Term{xs[1][j], 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Optimal assignment: plant 1 ships 25 to demand 3 and 5 to demand 1
+	// (cost 25+10=35), plant 2 ships 15 to demand 1 and 25 to demand 2
+	// (cost 75+100=175); total 210.
+	if !almostEqual(sol.Objective, 210, 1e-5) {
+		t.Errorf("objective = %v, want 210", sol.Objective)
+	}
+	// Verify feasibility of the reported solution.
+	for j := 0; j < 3; j++ {
+		got := sol.Value(xs[0][j]) + sol.Value(xs[1][j])
+		if got < demand[j]-1e-6 {
+			t.Errorf("demand %d unmet: %v < %v", j, got, demand[j])
+		}
+	}
+}
+
+func TestMaximizeWithEqualityAndBounds(t *testing.T) {
+	// maximize x + 4y + 2z s.t. x+y+z = 10, y ≤ 4, z ≤ 3 → y=4, z=3, x=3, obj=25.
+	p := NewProblem(Maximize)
+	x := p.MustVariable("x", 0, Infinity, 1)
+	y := p.MustVariable("y", 0, 4, 4)
+	z := p.MustVariable("z", 0, 3, 2)
+	if err := p.AddConstraint("total", EQ, 10, Term{x, 1}, Term{y, 1}, Term{z, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Objective, 25, 1e-6) {
+		t.Errorf("objective = %v, want 25", sol.Objective)
+	}
+}
+
+// TestRandomLPsAgainstBruteForce cross-checks the simplex against a fine grid
+// search on small random 2-variable problems with bounded boxes.
+func TestRandomLPsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		c1 := rng.Float64()*4 - 2
+		c2 := rng.Float64()*4 - 2
+		a1 := rng.Float64()*2 - 1
+		a2 := rng.Float64()*2 - 1
+		rhs := rng.Float64()*6 + 1
+
+		p := NewProblem(Minimize)
+		x := p.MustVariable("x", 0, 5, c1)
+		y := p.MustVariable("y", 0, 5, c2)
+		if err := p.AddConstraint("c", LE, rhs, Term{x, a1}, Term{y, a2}); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.Solve()
+		if errors.Is(err, ErrInfeasible) || errors.Is(err, ErrUnbounded) {
+			// Box-bounded with one ≤ constraint and rhs > 0 is always
+			// feasible (origin) and bounded; neither should happen.
+			t.Fatalf("trial %d: unexpected status %v", trial, sol.Status)
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		best := math.Inf(1)
+		const steps = 100
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				xv := 5 * float64(i) / steps
+				yv := 5 * float64(j) / steps
+				if a1*xv+a2*yv > rhs+1e-9 {
+					continue
+				}
+				v := c1*xv + c2*yv
+				if v < best {
+					best = v
+				}
+			}
+		}
+		if sol.Objective > best+1e-3 {
+			t.Errorf("trial %d: simplex %v worse than grid %v", trial, sol.Objective, best)
+		}
+		if sol.Objective < best-0.2 {
+			// Grid resolution is 0.05, so the simplex can be at most a
+			// little better than the grid optimum.
+			t.Errorf("trial %d: simplex %v implausibly better than grid %v", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestModeratelySizedLP(t *testing.T) {
+	// A time-expanded toy of the provisioning LP: 50 periods, one "battery"
+	// level chained across periods; checks the solver handles a few hundred
+	// variables/constraints and respects chaining equalities.
+	const n = 50
+	p := NewProblem(Minimize)
+	brown := make([]Var, n)
+	level := make([]Var, n)
+	charge := make([]Var, n)
+	for i := 0; i < n; i++ {
+		brown[i] = p.MustVariable("brown", 0, Infinity, 1)     // cost of grid power
+		charge[i] = p.MustVariable("charge", 0, Infinity, 0.1) // mild penalty
+		level[i] = p.MustVariable("level", 0, 100, 0)
+	}
+	green := func(i int) float64 {
+		if i%2 == 0 {
+			return 20
+		}
+		return 0
+	}
+	const demand = 10.0
+	for i := 0; i < n; i++ {
+		// green + brown + discharge − charge = demand, with discharge folded
+		// into the level equation: level_i = level_{i-1} + charge_i − d_i and
+		// d_i = demand − green − brown + charge.  Keep it simple: enforce
+		// level_i = level_{i-1} + (green − demand) + brown_i − spill, with
+		// spill ≥ 0 free of cost.  We just require level_i ≥ 0 so brown must
+		// cover long droughts.
+		terms := []Term{{level[i], 1}, {brown[i], -1}, {charge[i], 1}}
+		rhs := green(i) - demand
+		if i > 0 {
+			terms = append(terms, Term{level[i-1], -1})
+		}
+		if err := p.AddConstraint("bal", EQ, rhs, terms...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Objective < -1e-6 {
+		t.Errorf("objective %v should be non-negative", sol.Objective)
+	}
+}

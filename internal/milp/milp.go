@@ -1,0 +1,322 @@
+// Package milp adds mixed-integer support on top of the internal/lp simplex
+// solver via best-first branch and bound.
+//
+// The paper formulates datacenter siting as a MILP (binary "is a datacenter
+// placed at location d" variables on top of the continuous provisioning
+// variables) and GreenNebula's workload partitioning as a small MILP.  This
+// package solves such problems exactly for moderate sizes: it relaxes the
+// integrality constraints, solves the LP relaxation, and branches on the most
+// fractional integer variable until the gap closes.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"greencloud/internal/lp"
+)
+
+// Problem is a mixed-integer linear program: an lp.Problem plus a set of
+// variables constrained to take integer values.
+type Problem struct {
+	sense    lp.Sense
+	lpProto  *builderProto
+	integers map[lp.Var]bool
+}
+
+// builderProto records the model so it can be re-instantiated with extra
+// bound constraints at every branch-and-bound node.
+type builderProto struct {
+	vars []protoVar
+	cons []protoCon
+}
+
+type protoVar struct {
+	name string
+	lb   float64
+	ub   float64
+	cost float64
+}
+
+type protoCon struct {
+	name  string
+	op    lp.Op
+	rhs   float64
+	terms []lp.Term
+}
+
+// NewProblem returns an empty mixed-integer problem.
+func NewProblem(sense lp.Sense) *Problem {
+	return &Problem{
+		sense:    sense,
+		lpProto:  &builderProto{},
+		integers: make(map[lp.Var]bool),
+	}
+}
+
+// AddVariable adds a continuous variable.
+func (p *Problem) AddVariable(name string, lb, ub, cost float64) (lp.Var, error) {
+	if math.IsNaN(lb) || math.IsNaN(ub) || math.IsNaN(cost) {
+		return -1, fmt.Errorf("milp: variable %q has NaN bounds or cost", name)
+	}
+	if ub < lb {
+		return -1, fmt.Errorf("milp: variable %q has upper bound below lower bound", name)
+	}
+	p.lpProto.vars = append(p.lpProto.vars, protoVar{name: name, lb: lb, ub: ub, cost: cost})
+	return lp.Var(len(p.lpProto.vars) - 1), nil
+}
+
+// AddIntegerVariable adds a variable constrained to integer values.
+func (p *Problem) AddIntegerVariable(name string, lb, ub, cost float64) (lp.Var, error) {
+	v, err := p.AddVariable(name, lb, ub, cost)
+	if err != nil {
+		return v, err
+	}
+	p.integers[v] = true
+	return v, nil
+}
+
+// AddBinaryVariable adds a 0/1 variable.
+func (p *Problem) AddBinaryVariable(name string, cost float64) (lp.Var, error) {
+	return p.AddIntegerVariable(name, 0, 1, cost)
+}
+
+// AddConstraint adds a linear constraint.
+func (p *Problem) AddConstraint(name string, op lp.Op, rhs float64, terms ...lp.Term) error {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.lpProto.vars) {
+			return fmt.Errorf("milp: constraint %q references unknown variable %d", name, t.Var)
+		}
+	}
+	copied := make([]lp.Term, len(terms))
+	copy(copied, terms)
+	p.lpProto.cons = append(p.lpProto.cons, protoCon{name: name, op: op, rhs: rhs, terms: copied})
+	return nil
+}
+
+// NumVariables returns the number of variables (continuous and integer).
+func (p *Problem) NumVariables() int { return len(p.lpProto.vars) }
+
+// NumIntegers returns the number of integer-constrained variables.
+func (p *Problem) NumIntegers() int { return len(p.integers) }
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    lp.Status
+	Objective float64
+	values    []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Value returns the value of a variable in the best solution found.
+func (s *Solution) Value(v lp.Var) float64 {
+	if s == nil || int(v) < 0 || int(v) >= len(s.values) {
+		return math.NaN()
+	}
+	return s.values[v]
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("milp: problem is infeasible")
+	ErrUnbounded  = errors.New("milp: relaxation is unbounded")
+	ErrNodeLimit  = errors.New("milp: node limit reached without proving optimality")
+)
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (0 means a generous
+	// default).
+	MaxNodes int
+	// IntegralityTol is the tolerance for treating a value as integral.
+	IntegralityTol float64
+	// Gap is the relative optimality gap at which the search stops early.
+	Gap float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20000
+	}
+	if o.IntegralityTol == 0 {
+		o.IntegralityTol = 1e-6
+	}
+	return o
+}
+
+// bound is an extra variable bound imposed along a branch.
+type bound struct {
+	v  lp.Var
+	lo float64
+	hi float64
+}
+
+// node is one branch-and-bound node.
+type node struct {
+	bounds []bound
+	// relaxation objective of the parent, used for best-first ordering.
+	parentObj float64
+}
+
+// Solve runs branch and bound with default options.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWithOptions(Options{}) }
+
+// SolveWithOptions runs branch and bound.
+func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+
+	if len(p.integers) == 0 {
+		sol, err := p.solveRelaxation(nil)
+		if err != nil {
+			return convertLPFailure(sol, err)
+		}
+		return &Solution{Status: lp.Optimal, Objective: sol.Objective, values: sol.Values(), Nodes: 1}, nil
+	}
+
+	better := func(a, b float64) bool {
+		if p.sense == lp.Minimize {
+			return a < b
+		}
+		return a > b
+	}
+
+	var (
+		best      *Solution
+		nodesDone int
+		incumbent = math.Inf(1)
+		queue     []node
+	)
+	if p.sense == lp.Maximize {
+		incumbent = math.Inf(-1)
+	}
+	queue = append(queue, node{})
+
+	for len(queue) > 0 {
+		if nodesDone >= opts.MaxNodes {
+			if best != nil {
+				best.Nodes = nodesDone
+				return best, ErrNodeLimit
+			}
+			return nil, ErrNodeLimit
+		}
+		// Best-first: pick the node with the most promising parent bound.
+		sort.Slice(queue, func(i, j int) bool {
+			return better(queue[i].parentObj, queue[j].parentObj)
+		})
+		current := queue[0]
+		queue = queue[1:]
+		nodesDone++
+
+		relax, err := p.solveRelaxation(current.bounds)
+		if err != nil {
+			if errors.Is(err, lp.ErrInfeasible) {
+				continue // prune
+			}
+			if errors.Is(err, lp.ErrUnbounded) {
+				// An unbounded relaxation at the root means the MILP is
+				// unbounded (or needs bounds we don't have); deeper nodes
+				// only make the problem more constrained.
+				if nodesDone == 1 {
+					return nil, ErrUnbounded
+				}
+				continue
+			}
+			return nil, err
+		}
+
+		// Bound: prune if the relaxation cannot beat the incumbent.
+		if best != nil && !better(relax.Objective, incumbent) {
+			continue
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := lp.Var(-1)
+		worstFrac := opts.IntegralityTol
+		for v := range p.integers {
+			val := relax.Value(v)
+			frac := math.Abs(val - math.Round(val))
+			if frac > worstFrac {
+				worstFrac = frac
+				branchVar = v
+			}
+		}
+
+		if branchVar == -1 {
+			// Integral solution.
+			if best == nil || better(relax.Objective, incumbent) {
+				vals := relax.Values()
+				// Snap integer values exactly.
+				for v := range p.integers {
+					vals[v] = math.Round(vals[v])
+				}
+				best = &Solution{Status: lp.Optimal, Objective: relax.Objective, values: vals}
+				incumbent = relax.Objective
+			}
+			continue
+		}
+
+		// Branch.
+		val := relax.Value(branchVar)
+		floor := math.Floor(val)
+		ceil := math.Ceil(val)
+		down := append(append([]bound{}, current.bounds...), bound{v: branchVar, lo: math.Inf(-1), hi: floor})
+		up := append(append([]bound{}, current.bounds...), bound{v: branchVar, lo: ceil, hi: math.Inf(1)})
+		queue = append(queue,
+			node{bounds: down, parentObj: relax.Objective},
+			node{bounds: up, parentObj: relax.Objective},
+		)
+	}
+
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	best.Nodes = nodesDone
+	return best, nil
+}
+
+// solveRelaxation builds the LP relaxation with extra branch bounds applied
+// and solves it.
+func (p *Problem) solveRelaxation(extra []bound) (*lp.Solution, error) {
+	prob := lp.NewProblem(p.sense)
+	for i, pv := range p.lpProto.vars {
+		lo, hi := pv.lb, pv.ub
+		for _, b := range extra {
+			if int(b.v) != i {
+				continue
+			}
+			if b.lo > lo {
+				lo = b.lo
+			}
+			if b.hi < hi {
+				hi = b.hi
+			}
+		}
+		if hi < lo {
+			// This branch is empty.
+			return nil, lp.ErrInfeasible
+		}
+		if _, err := prob.AddVariable(pv.name, lo, hi, pv.cost); err != nil {
+			return nil, err
+		}
+	}
+	for _, pc := range p.lpProto.cons {
+		if err := prob.AddConstraint(pc.name, pc.op, pc.rhs, pc.terms...); err != nil {
+			return nil, err
+		}
+	}
+	return prob.Solve()
+}
+
+func convertLPFailure(sol *lp.Solution, err error) (*Solution, error) {
+	switch {
+	case errors.Is(err, lp.ErrInfeasible):
+		return &Solution{Status: lp.Infeasible}, ErrInfeasible
+	case errors.Is(err, lp.ErrUnbounded):
+		return &Solution{Status: lp.Unbounded}, ErrUnbounded
+	default:
+		return nil, err
+	}
+}

@@ -1,0 +1,149 @@
+package nebula
+
+import (
+	"errors"
+	"testing"
+
+	"greencloud/internal/vm"
+)
+
+func TestPlaceRemoveLifecycle(t *testing.T) {
+	dc := NewUniformDatacenter("barcelona", 3)
+	if dc.Name() != "barcelona" || dc.Hosts() != 3 {
+		t.Fatalf("unexpected datacenter: %s/%d", dc.Name(), dc.Hosts())
+	}
+	v := vm.NewHPCVM("vm-0")
+	host, err := dc.Place(v)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if host == "" {
+		t.Fatal("empty host id")
+	}
+	if _, err := dc.Place(v); !errors.Is(err, ErrDuplicateVM) {
+		t.Errorf("want ErrDuplicateVM, got %v", err)
+	}
+	got, err := dc.HostOf("vm-0")
+	if err != nil || got != host {
+		t.Errorf("HostOf = %s, %v", got, err)
+	}
+	if dc.VMCount() != 1 {
+		t.Errorf("VMCount = %d", dc.VMCount())
+	}
+	removed, err := dc.Remove("vm-0")
+	if err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if removed.ID != "vm-0" {
+		t.Errorf("removed %s", removed.ID)
+	}
+	if _, err := dc.Remove("vm-0"); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("want ErrUnknownVM, got %v", err)
+	}
+	if _, err := dc.HostOf("vm-0"); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("want ErrUnknownVM, got %v", err)
+	}
+	bad := vm.VM{}
+	if _, err := dc.Place(bad); err == nil {
+		t.Error("invalid VM should not be placeable")
+	}
+}
+
+func TestPlacementRespectsHostCapacity(t *testing.T) {
+	// One default host: 4 vCPUs and 6 GB of memory fit 4 paper VMs
+	// (1 vCPU / 512 MB each); the 5th must be rejected.
+	dc := NewUniformDatacenter("dc", 1)
+	for i := 0; i < 4; i++ {
+		if _, err := dc.Place(vm.NewHPCVM(vmName(i))); err != nil {
+			t.Fatalf("Place %d: %v", i, err)
+		}
+	}
+	if _, err := dc.Place(vm.NewHPCVM("vm-overflow")); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want ErrNoCapacity, got %v", err)
+	}
+	// Removing one frees the slot again.
+	if _, err := dc.Remove(vmName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.Place(vm.NewHPCVM("vm-retry")); err != nil {
+		t.Errorf("placement after removal failed: %v", err)
+	}
+}
+
+func vmName(i int) string { return string(rune('a'+i)) + "-vm" }
+
+func TestSpareCapacityAndSpread(t *testing.T) {
+	dc := NewUniformDatacenter("dc", 3)
+	sample := vm.NewHPCVM("sample")
+	if got := dc.SpareCapacity(sample); got != 12 {
+		t.Errorf("SpareCapacity = %d, want 12 (3 hosts × 4 VMs)", got)
+	}
+	fleet := vm.NewHPCFleet("vm", 9)
+	for _, v := range fleet {
+		if _, err := dc.Place(v); err != nil {
+			t.Fatalf("Place(%s): %v", v.ID, err)
+		}
+	}
+	if got := dc.SpareCapacity(sample); got != 3 {
+		t.Errorf("SpareCapacity after 9 placements = %d, want 3", got)
+	}
+	if dc.VMCount() != 9 {
+		t.Errorf("VMCount = %d", dc.VMCount())
+	}
+	vms := dc.VMs()
+	if len(vms) != 9 {
+		t.Fatalf("VMs() returned %d", len(vms))
+	}
+	for i := 1; i < len(vms); i++ {
+		if vms[i-1].ID > vms[i].ID {
+			t.Fatal("VMs() not sorted")
+		}
+	}
+}
+
+func TestITPower(t *testing.T) {
+	dc := NewUniformDatacenter("dc", 2)
+	if dc.ITPowerW() != 0 {
+		t.Errorf("empty datacenter power = %v, want 0 (hosts powered down)", dc.ITPowerW())
+	}
+	if _, err := dc.Place(vm.NewHPCVM("vm-0")); err != nil {
+		t.Fatal(err)
+	}
+	p1 := dc.ITPowerW()
+	if p1 <= 0 {
+		t.Fatal("power should be positive with one VM")
+	}
+	// Adding a VM on the same host only adds the VM's power, not another
+	// idle host.
+	if _, err := dc.Place(vm.NewHPCVM("vm-1")); err != nil {
+		t.Fatal(err)
+	}
+	p2 := dc.ITPowerW()
+	if p2 <= p1 {
+		t.Errorf("power should grow with load: %v -> %v", p1, p2)
+	}
+	if p2-p1 > 100 {
+		t.Errorf("second VM added %v W, want roughly its own 30 W", p2-p1)
+	}
+	// Power never exceeds the hosts' busy power.
+	host := DefaultHost("h")
+	if p2 > 2*host.BusyPowerW {
+		t.Errorf("power %v exceeds the physical maximum", p2)
+	}
+}
+
+func TestCustomHosts(t *testing.T) {
+	hosts := []Host{
+		{ID: "big", VCPUs: 64, MemoryMB: 256 * 1024, IdlePowerW: 200, BusyPowerW: 900},
+	}
+	dc := NewDatacenter("custom", hosts)
+	v := vm.NewHPCVM("vm-0")
+	v.VCPUs = 32
+	v.MemoryMB = 128 * 1024
+	if _, err := dc.Place(v); err != nil {
+		t.Fatalf("Place on big host: %v", err)
+	}
+	if dc.Hosts() != 1 {
+		t.Errorf("Hosts = %d", dc.Hosts())
+	}
+}

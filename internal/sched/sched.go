@@ -1,0 +1,368 @@
+// Package sched implements GreenNebula's multi-datacenter scheduler
+// (Section V-A of the paper).  Every hour the scheduler:
+//
+//  1. predicts each datacenter's green energy production 48 hours ahead,
+//  2. collects the current workload (average power) at every datacenter,
+//  3. solves a small linear program that re-partitions the workload across
+//     the datacenters over the prediction horizon so as to minimize brown
+//     energy use, accounting for the energy overhead of migrations, and
+//  4. turns the first hour of that plan into a concrete migration schedule:
+//     donors are ordered by decreasing amount of power to migrate out, each
+//     donor sends VMs to the closest receiver first (first fit), choosing
+//     VMs with the smallest memory/disk footprint first.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"greencloud/internal/lp"
+	"greencloud/internal/vm"
+)
+
+// DatacenterState is the scheduler's view of one datacenter for one
+// scheduling round.
+type DatacenterState struct {
+	// Name identifies the datacenter.
+	Name string
+	// CapacityKW is the IT power capacity.
+	CapacityKW float64
+	// CurrentLoadKW is the IT power of the VMs currently hosted there.
+	CurrentLoadKW float64
+	// GreenForecastKW is the predicted green production for the next
+	// horizon hours (facility-side power).
+	GreenForecastKW []float64
+	// PUE converts IT power into facility power (per forecast hour; a
+	// single value is broadcast).
+	PUE []float64
+	// GridPriceUSDPerKWh prices any brown energy the site must draw.
+	GridPriceUSDPerKWh float64
+}
+
+// pueAt returns the PUE for hour h, broadcasting a single value.
+func (d DatacenterState) pueAt(h int) float64 {
+	if len(d.PUE) == 0 {
+		return 1.1
+	}
+	if h < len(d.PUE) {
+		return d.PUE[h]
+	}
+	return d.PUE[len(d.PUE)-1]
+}
+
+// Options configures the scheduler.
+type Options struct {
+	// HorizonHours is the planning horizon (the paper uses 48).
+	HorizonHours int
+	// MigrationFraction is the fraction of an hour during which migrated
+	// load consumes power at both ends (the paper's conservative value is
+	// 1.0).
+	MigrationFraction float64
+	// BrownWeight scales how much the objective penalizes brown energy
+	// versus migration churn; the default prices brown energy at each
+	// site's grid price and migrations at the donor's grid price.
+	BrownWeight float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HorizonHours <= 0 {
+		o.HorizonHours = 48
+	}
+	if o.MigrationFraction < 0 {
+		o.MigrationFraction = 0
+	}
+	if o.MigrationFraction == 0 {
+		o.MigrationFraction = 1
+	}
+	if o.BrownWeight <= 0 {
+		o.BrownWeight = 1
+	}
+	return o
+}
+
+// Scheduler plans follow-the-renewables workload placement.
+type Scheduler struct {
+	opts Options
+}
+
+// New returns a scheduler.
+func New(opts Options) *Scheduler {
+	return &Scheduler{opts: opts.withDefaults()}
+}
+
+// Errors returned by the scheduler.
+var (
+	ErrNoDatacenters    = errors.New("sched: no datacenters")
+	ErrOverCapacity     = errors.New("sched: total load exceeds total capacity")
+	ErrForecastTooShort = errors.New("sched: green forecast shorter than the horizon")
+)
+
+// Plan is the scheduler's output for one round.
+type Plan struct {
+	// LoadKW[d][h] is the IT power datacenter d should run during hour h
+	// of the horizon.
+	LoadKW [][]float64
+	// BrownKWh is the predicted brown energy use over the horizon under
+	// this plan.
+	BrownKWh float64
+	// MigratedKW is the total power that changes datacenter between the
+	// current placement and the plan's first hour.
+	MigratedKW float64
+}
+
+// Partition solves the workload-partitioning LP: how much IT power each
+// datacenter should run during every hour of the horizon to minimize brown
+// energy, given the green-energy forecasts, PUEs, capacities and the energy
+// overhead of migrations.
+func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan, error) {
+	if len(dcs) == 0 {
+		return nil, ErrNoDatacenters
+	}
+	horizon := s.opts.HorizonHours
+	totalCapacity := 0.0
+	for _, d := range dcs {
+		if len(d.GreenForecastKW) < horizon {
+			return nil, fmt.Errorf("%w: %s has %d hours, need %d",
+				ErrForecastTooShort, d.Name, len(d.GreenForecastKW), horizon)
+		}
+		totalCapacity += d.CapacityKW
+	}
+	if totalLoadKW > totalCapacity+1e-9 {
+		return nil, fmt.Errorf("%w: %.1f kW over %.1f kW", ErrOverCapacity, totalLoadKW, totalCapacity)
+	}
+
+	prob := lp.NewProblem(lp.Minimize)
+	n := len(dcs)
+	load := make([][]lp.Var, n)
+	migOut := make([][]lp.Var, n)
+	brown := make([][]lp.Var, n)
+	var err error
+	for d, dc := range dcs {
+		load[d] = make([]lp.Var, horizon)
+		migOut[d] = make([]lp.Var, horizon)
+		brown[d] = make([]lp.Var, horizon)
+		for h := 0; h < horizon; h++ {
+			if load[d][h], err = prob.AddVariable("load", 0, dc.CapacityKW, 0); err != nil {
+				return nil, err
+			}
+			// A tiny cost on migration power discourages gratuitous churn
+			// beyond its real energy cost.
+			if migOut[d][h], err = prob.AddVariable("mig", 0, lp.Infinity, dc.GridPriceUSDPerKWh*0.1); err != nil {
+				return nil, err
+			}
+			if brown[d][h], err = prob.AddVariable("brown", 0, lp.Infinity,
+				s.opts.BrownWeight*dc.GridPriceUSDPerKWh); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for h := 0; h < horizon; h++ {
+		// All load must be placed somewhere every hour.
+		terms := make([]lp.Term, n)
+		for d := range dcs {
+			terms[d] = lp.Term{Var: load[d][h], Coeff: 1}
+		}
+		if err := prob.AddConstraint("place", lp.EQ, totalLoadKW, terms...); err != nil {
+			return nil, err
+		}
+	}
+	f := s.opts.MigrationFraction
+	for d, dc := range dcs {
+		for h := 0; h < horizon; h++ {
+			// Migration overhead: load leaving this site between h−1 and h
+			// burns power here for a fraction of hour h.
+			if f > 0 {
+				terms := []lp.Term{
+					{Var: migOut[d][h], Coeff: 1},
+					{Var: load[d][h], Coeff: f},
+				}
+				rhs := 0.0
+				if h == 0 {
+					rhs = f * dc.CurrentLoadKW
+				} else {
+					terms = append(terms, lp.Term{Var: load[d][h-1], Coeff: -f})
+				}
+				if err := prob.AddConstraint("migOut", lp.GE, rhs, terms...); err != nil {
+					return nil, err
+				}
+			}
+			// Brown power covers whatever facility demand the green
+			// forecast cannot: brown ≥ (load+mig)·PUE − green.
+			pue := dc.pueAt(h)
+			if err := prob.AddConstraint("brown", lp.GE, -dc.GreenForecastKW[h],
+				lp.Term{Var: brown[d][h], Coeff: 1},
+				lp.Term{Var: load[d][h], Coeff: -pue},
+				lp.Term{Var: migOut[d][h], Coeff: -pue}); err != nil {
+				return nil, err
+			}
+			// Capacity must also cover the migration overhead.
+			if err := prob.AddConstraint("cap", lp.LE, dc.CapacityKW,
+				lp.Term{Var: load[d][h], Coeff: 1},
+				lp.Term{Var: migOut[d][h], Coeff: 1}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("sched: partition LP: %w", err)
+	}
+
+	plan := &Plan{LoadKW: make([][]float64, n)}
+	for d := range dcs {
+		plan.LoadKW[d] = make([]float64, horizon)
+		for h := 0; h < horizon; h++ {
+			plan.LoadKW[d][h] = sol.Value(load[d][h])
+			plan.BrownKWh += sol.Value(brown[d][h])
+		}
+		moved := dcs[d].CurrentLoadKW - plan.LoadKW[d][0]
+		if moved > 0 {
+			plan.MigratedKW += moved
+		}
+	}
+	return plan, nil
+}
+
+// Migration is one VM move the scheduler orders.
+type Migration struct {
+	VM   vm.VM
+	From string
+	To   string
+}
+
+// MigrationSchedule turns the difference between the current per-datacenter
+// loads and the plan's first-hour loads into per-VM migration orders, using
+// the paper's policy: donors in decreasing order of power to shed, first-fit
+// to the closest receiver, smallest-footprint VMs first.
+func (s *Scheduler) MigrationSchedule(dcs []DatacenterState, placements map[string]vm.Fleet,
+	plan *Plan, distance func(a, b string) float64) ([]Migration, error) {
+
+	if plan == nil || len(plan.LoadKW) != len(dcs) {
+		return nil, errors.New("sched: plan does not match the datacenter list")
+	}
+	if distance == nil {
+		distance = func(a, b string) float64 { return 0 }
+	}
+
+	type delta struct {
+		name    string
+		surplus float64 // positive: must shed this much power
+	}
+	deltas := make([]delta, 0, len(dcs))
+	headroom := make(map[string]float64, len(dcs))
+	for d, dc := range dcs {
+		target := plan.LoadKW[d][0]
+		diff := dc.CurrentLoadKW - target
+		deltas = append(deltas, delta{name: dc.Name, surplus: diff})
+		if diff < 0 {
+			headroom[dc.Name] = -diff
+		}
+	}
+	// Donors in decreasing amount of power to migrate out.
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].surplus > deltas[j].surplus })
+
+	var out []Migration
+	for _, donor := range deltas {
+		if donor.surplus <= 1e-9 {
+			continue
+		}
+		fleet := placements[donor.name].SortByFootprint()
+		toShedW := donor.surplus * 1000
+
+		// Receivers closest to this donor first.
+		receivers := make([]string, 0, len(headroom))
+		for name := range headroom {
+			receivers = append(receivers, name)
+		}
+		sort.Slice(receivers, func(i, j int) bool {
+			di, dj := distance(donor.name, receivers[i]), distance(donor.name, receivers[j])
+			if di != dj {
+				return di < dj
+			}
+			return receivers[i] < receivers[j]
+		})
+
+		for _, machine := range fleet {
+			if toShedW <= 1e-9 {
+				break
+			}
+			placed := false
+			for _, r := range receivers {
+				if headroom[r]*1000 >= machine.PowerW {
+					out = append(out, Migration{VM: machine, From: donor.name, To: r})
+					headroom[r] -= machine.PowerW / 1000
+					toShedW -= machine.PowerW
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				// No receiver can take this VM; try the next (smaller ones
+				// were already tried, so larger ones will not fit either).
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// BrownEnergyIfStatic estimates the brown energy over the horizon if no load
+// were ever migrated (everything stays where it is), used as the baseline
+// the scheduler's plan is compared against.
+func (s *Scheduler) BrownEnergyIfStatic(dcs []DatacenterState) float64 {
+	total := 0.0
+	for _, dc := range dcs {
+		for h := 0; h < s.opts.HorizonHours && h < len(dc.GreenForecastKW); h++ {
+			demand := dc.CurrentLoadKW * dc.pueAt(h)
+			deficit := demand - dc.GreenForecastKW[h]
+			if deficit > 0 {
+				total += deficit
+			}
+		}
+	}
+	return total
+}
+
+// RoundLoads snaps a fractional power split onto whole VMs of the given
+// power, preserving the total count (largest remainder method).  The
+// emulation uses it to convert the LP's continuous loads into VM counts.
+func RoundLoads(loadKW []float64, vmPowerW float64, totalVMs int) []int {
+	n := len(loadKW)
+	counts := make([]int, n)
+	if totalVMs <= 0 || vmPowerW <= 0 {
+		return counts
+	}
+	type frac struct {
+		idx  int
+		frac float64
+	}
+	fracs := make([]frac, n)
+	assigned := 0
+	for i, l := range loadKW {
+		exact := l * 1000 / vmPowerW
+		counts[i] = int(math.Floor(exact + 1e-9))
+		if counts[i] < 0 {
+			counts[i] = 0
+		}
+		assigned += counts[i]
+		fracs[i] = frac{idx: i, frac: exact - float64(counts[i])}
+	}
+	sort.Slice(fracs, func(i, j int) bool { return fracs[i].frac > fracs[j].frac })
+	for i := 0; assigned < totalVMs && i < len(fracs); i++ {
+		counts[fracs[i].idx]++
+		assigned++
+	}
+	// If rounding overshot (possible when loads exceed the fleet), trim.
+	for i := 0; assigned > totalVMs && i < n; i++ {
+		over := assigned - totalVMs
+		if counts[i] >= over {
+			counts[i] -= over
+			assigned -= over
+		}
+	}
+	return counts
+}

@@ -1,0 +1,240 @@
+// Package placement is the public API for siting and provisioning green
+// datacenter networks, the paper's first contribution.  It wraps the
+// internal framework (candidate-location catalog, cost model, optimization
+// problem, heuristic and exact solvers) behind a small, stable surface:
+// build a Catalog, describe what you need in a Request, call Place.
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"greencloud/internal/core"
+	"greencloud/internal/energy"
+	"greencloud/internal/location"
+)
+
+// StorageMode selects how surplus green energy is stored.
+type StorageMode int
+
+// Storage modes.
+const (
+	// NetMetering banks surplus energy in the electrical grid.
+	NetMetering StorageMode = iota + 1
+	// Batteries stores surplus energy in on-site batteries.
+	Batteries
+	// NoStorage discards surplus green energy.
+	NoStorage
+)
+
+// SourceMix selects which renewable technologies may be built on-site.
+type SourceMix int
+
+// Source mixes.
+const (
+	// SolarAndWind allows either technology (the solver chooses per site).
+	SolarAndWind SourceMix = iota + 1
+	// SolarOnly restricts plants to photovoltaics.
+	SolarOnly
+	// WindOnly restricts plants to wind turbines.
+	WindOnly
+)
+
+// CatalogOptions configures the synthetic candidate-location catalog.
+type CatalogOptions struct {
+	// Locations is the number of candidate sites (default: the paper's 1373).
+	Locations int
+	// Seed makes the catalog reproducible.
+	Seed int64
+	// RepresentativeDays controls the time resolution used by the
+	// provisioning model (default 4: one representative day per season).
+	RepresentativeDays int
+}
+
+// Catalog is a set of candidate datacenter locations.
+type Catalog struct {
+	cat *location.Catalog
+}
+
+// NewCatalog generates a synthetic world-wide catalog of candidate sites.
+func NewCatalog(opts CatalogOptions) (*Catalog, error) {
+	cat, err := location.Generate(location.Options{
+		Count:              opts.Locations,
+		Seed:               opts.Seed,
+		RepresentativeDays: opts.RepresentativeDays,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{cat: cat}, nil
+}
+
+// DefaultCatalog generates the paper-scale catalog (1373 locations).
+func DefaultCatalog(seed int64) (*Catalog, error) {
+	return NewCatalog(CatalogOptions{Seed: seed})
+}
+
+// Locations returns the number of candidate sites.
+func (c *Catalog) Locations() int { return c.cat.Len() }
+
+// Internal exposes the underlying internal catalog for advanced users inside
+// this module (examples, experiments).
+func (c *Catalog) Internal() *location.Catalog { return c.cat }
+
+// Request describes the cloud service to build.
+type Request struct {
+	// CapacityMW is the compute capacity the network must provide at all
+	// times.
+	CapacityMW float64
+	// GreenFraction is the minimum fraction of yearly energy that must come
+	// from on-site renewables (0..1).
+	GreenFraction float64
+	// Storage selects the energy storage technology.
+	Storage StorageMode
+	// Sources selects the allowed renewable technologies.
+	Sources SourceMix
+	// Availability is the minimum network availability (default 99.999 %).
+	Availability float64
+	// MigrationOverhead is the fraction of an epoch during which migrated
+	// load is billed at both datacenters (default 1, the paper's
+	// conservative setting).
+	MigrationOverhead float64
+}
+
+// SearchBudget bounds the heuristic solver's effort.
+type SearchBudget struct {
+	// Iterations per annealing chain (default 150).
+	Iterations int
+	// Chains of parallel annealing (default 4).
+	Chains int
+	// FilterKeep is the number of locations surviving the filter stage
+	// (default 60).
+	FilterKeep int
+	// Seed makes the search reproducible.
+	Seed int64
+}
+
+// SiteResult describes one selected location.
+type SiteResult struct {
+	Name          string
+	Climate       string
+	CapacityMW    float64
+	SolarMW       float64
+	WindMW        float64
+	BatteryMWh    float64
+	GreenFraction float64
+	MonthlyUSD    float64
+}
+
+// Solution is a provisioned datacenter network.
+type Solution struct {
+	Sites          []SiteResult
+	MonthlyCostUSD float64
+	GreenFraction  float64
+	CapacityMW     float64
+
+	inner *core.Solution
+}
+
+// Summary returns a human-readable description of the solution.
+func (s *Solution) Summary() string {
+	if s.inner == nil {
+		return "empty solution"
+	}
+	return s.inner.Summary()
+}
+
+// ErrNoSolution is returned when the solver cannot satisfy the request.
+var ErrNoSolution = errors.New("placement: no feasible network found")
+
+func (r Request) toSpec() (core.Spec, error) {
+	spec := core.DefaultSpec()
+	spec.TotalCapacityKW = r.CapacityMW * 1000
+	spec.MinGreenFraction = r.GreenFraction
+	if r.Availability > 0 {
+		spec.MinAvailability = r.Availability
+	}
+	if r.MigrationOverhead > 0 {
+		spec.MigrationFraction = r.MigrationOverhead
+	}
+	switch r.Storage {
+	case NetMetering, 0:
+		spec.Storage = energy.NetMetering
+	case Batteries:
+		spec.Storage = energy.Batteries
+	case NoStorage:
+		spec.Storage = energy.NoStorage
+	default:
+		return spec, fmt.Errorf("placement: unknown storage mode %d", r.Storage)
+	}
+	switch r.Sources {
+	case SolarAndWind, 0:
+		spec.Sources = core.SolarAndWind
+	case SolarOnly:
+		spec.Sources = core.SolarOnly
+	case WindOnly:
+		spec.Sources = core.WindOnly
+	default:
+		return spec, fmt.Errorf("placement: unknown source mix %d", r.Sources)
+	}
+	return spec, nil
+}
+
+// Place sites and provisions a network satisfying the request at minimum
+// monthly cost.
+func (c *Catalog) Place(req Request, budget SearchBudget) (*Solution, error) {
+	spec, err := req.toSpec()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Solve(c.cat, spec, core.SolveOptions{
+		FilterKeep:    budget.FilterKeep,
+		Chains:        budget.Chains,
+		MaxIterations: budget.Iterations,
+		Seed:          budget.Seed,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			return nil, ErrNoSolution
+		}
+		return nil, err
+	}
+	return wrapSolution(sol), nil
+}
+
+// PriceSingleSite prices a single datacenter of the given capacity at the
+// location with the given index under the request's green settings — the
+// per-location exploration behind Fig. 6 of the paper.
+func (c *Catalog) PriceSingleSite(siteIndex int, capacityMW float64, req Request) (*Solution, error) {
+	spec, err := req.toSpec()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.EvaluateSingleSite(c.cat, siteIndex, capacityMW*1000, spec)
+	if err != nil {
+		return nil, err
+	}
+	return wrapSolution(sol), nil
+}
+
+func wrapSolution(sol *core.Solution) *Solution {
+	out := &Solution{
+		MonthlyCostUSD: sol.TotalMonthlyUSD,
+		GreenFraction:  sol.GreenFraction,
+		CapacityMW:     sol.ProvisionedCapacityKW / 1000,
+		inner:          sol,
+	}
+	for _, site := range sol.Sites {
+		out.Sites = append(out.Sites, SiteResult{
+			Name:          site.Site.Name,
+			Climate:       site.Site.Archetype.String(),
+			CapacityMW:    site.Provision.CapacityKW / 1000,
+			SolarMW:       site.Provision.SolarKW / 1000,
+			WindMW:        site.Provision.WindKW / 1000,
+			BatteryMWh:    site.Provision.BatteryKWh / 1000,
+			GreenFraction: site.GreenFraction,
+			MonthlyUSD:    site.Breakdown.Total(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package placement
+
+import (
+	"testing"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(CatalogOptions{Locations: 60, Seed: 5, RepresentativeDays: 2})
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	return cat
+}
+
+func TestNewCatalog(t *testing.T) {
+	cat := testCatalog(t)
+	if cat.Locations() != 60 {
+		t.Errorf("Locations = %d, want 60", cat.Locations())
+	}
+	if cat.Internal() == nil {
+		t.Error("Internal() should expose the catalog")
+	}
+	if _, err := NewCatalog(CatalogOptions{Locations: -2}); err == nil {
+		t.Error("invalid options should error")
+	}
+}
+
+func TestPlaceSmallGreenNetwork(t *testing.T) {
+	cat := testCatalog(t)
+	sol, err := cat.Place(Request{
+		CapacityMW:    10,
+		GreenFraction: 0.5,
+		Storage:       NetMetering,
+		Sources:       SolarAndWind,
+	}, SearchBudget{Iterations: 30, Chains: 2, FilterKeep: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if len(sol.Sites) < 2 {
+		t.Errorf("expected at least two datacenters, got %d", len(sol.Sites))
+	}
+	if sol.GreenFraction < 0.5-1e-3 {
+		t.Errorf("green fraction %v below request", sol.GreenFraction)
+	}
+	if sol.MonthlyCostUSD <= 0 {
+		t.Error("cost should be positive")
+	}
+	if sol.CapacityMW < 10 {
+		t.Errorf("capacity %v below request", sol.CapacityMW)
+	}
+	if sol.Summary() == "" {
+		t.Error("summary should not be empty")
+	}
+	for _, site := range sol.Sites {
+		if site.Name == "" || site.Climate == "" {
+			t.Error("site results missing identity fields")
+		}
+		if site.CapacityMW <= 0 {
+			t.Error("site capacity should be positive")
+		}
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := cat.Place(Request{CapacityMW: 10, Storage: StorageMode(99)}, SearchBudget{}); err == nil {
+		t.Error("bad storage mode should error")
+	}
+	if _, err := cat.Place(Request{CapacityMW: 10, Sources: SourceMix(99)}, SearchBudget{}); err == nil {
+		t.Error("bad source mix should error")
+	}
+	if _, err := cat.Place(Request{CapacityMW: -1}, SearchBudget{Iterations: 5, Chains: 1, FilterKeep: 5}); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestPriceSingleSite(t *testing.T) {
+	cat := testCatalog(t)
+	sol, err := cat.PriceSingleSite(0, 25, Request{CapacityMW: 25, GreenFraction: 0.5, Storage: NetMetering, Sources: WindOnly})
+	if err != nil {
+		t.Fatalf("PriceSingleSite: %v", err)
+	}
+	if len(sol.Sites) != 1 {
+		t.Fatalf("expected exactly one site, got %d", len(sol.Sites))
+	}
+	if sol.MonthlyCostUSD <= 0 {
+		t.Error("single-site cost should be positive")
+	}
+	if _, err := cat.PriceSingleSite(9999, 25, Request{CapacityMW: 25}); err == nil {
+		t.Error("unknown site index should error")
+	}
+}

@@ -1,0 +1,96 @@
+package renewables
+
+import (
+	"errors"
+	"testing"
+
+	"greencloud/placement"
+)
+
+func testCatalog(t *testing.T) *placement.Catalog {
+	t.Helper()
+	cat, err := placement.NewCatalog(placement.CatalogOptions{Locations: 80, Seed: 21, RepresentativeDays: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("want ErrBadConfig, got %v", err)
+	}
+	cat := testCatalog(t)
+	cfg := Config{
+		Catalog: cat,
+		Datacenters: []Datacenter{
+			{LocationIndex: 0, CapacityKW: 1},
+			{LocationIndex: 99999, CapacityKW: 1},
+		},
+		VMs:   2,
+		Hours: 1,
+	}
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown location index: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestBestSolarSitesAcrossTimeZones(t *testing.T) {
+	cat := testCatalog(t)
+	sites := BestSolarSitesAcrossTimeZones(cat, 3)
+	if len(sites) != 3 {
+		t.Fatalf("got %d sites, want 3", len(sites))
+	}
+	seen := map[int]bool{}
+	for _, id := range sites {
+		if seen[id] {
+			t.Fatal("duplicate site index")
+		}
+		seen[id] = true
+	}
+}
+
+func TestRunFollowTheSun(t *testing.T) {
+	cat := testCatalog(t)
+	siteIdx := BestSolarSitesAcrossTimeZones(cat, 3)
+	const fleetKW = 0.27
+	var dcs []Datacenter
+	for _, idx := range siteIdx {
+		dcs = append(dcs, Datacenter{
+			LocationIndex: idx,
+			CapacityKW:    fleetKW,
+			SolarKW:       fleetKW * 8,
+			WindKW:        fleetKW * 0.1,
+		})
+	}
+	report, err := Run(Config{
+		Catalog:          cat,
+		Datacenters:      dcs,
+		VMs:              9,
+		StartDay:         172,
+		Hours:            12,
+		HorizonHours:     12,
+		WANBandwidthMbps: 100,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Trace) != 12*3 {
+		t.Fatalf("trace has %d samples, want %d", len(report.Trace), 12*3)
+	}
+	if report.GreenFraction < 0 || report.GreenFraction > 1 {
+		t.Errorf("green fraction %v out of range", report.GreenFraction)
+	}
+	if report.AvgScheduleMillis <= 0 {
+		t.Error("scheduler timing not reported")
+	}
+	totalVMs := 0
+	for _, s := range report.Trace {
+		if s.Hour == 5 {
+			totalVMs += s.VMs
+		}
+	}
+	if totalVMs != 9 {
+		t.Errorf("hour 5 hosts %d VMs in total, want 9", totalVMs)
+	}
+}
