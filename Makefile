@@ -1,0 +1,26 @@
+# CI entry points.  `make ci` is what a pipeline should run: static vetting,
+# a full build, the test suite under the race detector (the annealing chains
+# and the sweep engine are concurrent), and a one-shot benchmark smoke that
+# fails loudly if the zero-allocation evaluator or an experiment regresses.
+
+GO ?= go
+
+.PHONY: ci vet build test bench-smoke bench
+
+ci: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race -timeout 2400s ./...
+
+bench-smoke:
+	$(GO) test -bench=BenchmarkEvaluateSteadyState -benchtime=1x -run '^$$' .
+
+# Full benchmark sweep (regenerates every paper figure; slow).
+bench:
+	$(GO) test -bench=. -run '^$$' .

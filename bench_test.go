@@ -4,7 +4,9 @@ import (
 	"sync"
 	"testing"
 
+	"greencloud/internal/core"
 	"greencloud/internal/experiments"
+	"greencloud/internal/location"
 )
 
 // suite is shared across benchmarks: the synthetic catalog and the cached
@@ -32,6 +34,7 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 // nothing).
 func runExperiment(b *testing.B, id string) {
 	s := sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table, err := s.Run(id)
@@ -40,6 +43,57 @@ func runExperiment(b *testing.B, id string) {
 		}
 		if len(table.Rows) == 0 {
 			b.Fatalf("%s: experiment produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkEvaluateSteadyState measures one cached-evaluator cost evaluation
+// — the annealing inner loop.  The evaluator owns all scratch state, so the
+// benchmark must report 0 allocs/op; a regression here puts garbage-collector
+// pressure back into Chains × MaxIterations × sweep-points of work.
+func BenchmarkEvaluateSteadyState(b *testing.B) {
+	cat, err := location.Generate(location.Options{Count: 60, Seed: 1, RepresentativeDays: 2})
+	if err != nil {
+		b.Fatalf("generate catalog: %v", err)
+	}
+	spec := core.DefaultSpec()
+	spec.TotalCapacityKW = 10_000
+	ev, err := core.NewEvaluator(cat, spec)
+	if err != nil {
+		b.Fatalf("build evaluator: %v", err)
+	}
+	candidates := []core.Candidate{{SiteID: 2}, {SiteID: 5}, {SiteID: 9}}
+	if _, err := ev.EvaluateCost(candidates); err != nil {
+		b.Fatalf("warm-up evaluation: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateCost(candidates); err != nil {
+			b.Fatalf("evaluate: %v", err)
+		}
+	}
+}
+
+// BenchmarkSolveSmallNetwork measures a full heuristic solve (filtering
+// skipped, parallel annealing chains over the cached evaluator pool).
+func BenchmarkSolveSmallNetwork(b *testing.B) {
+	cat, err := location.Generate(location.Options{Count: 60, Seed: 1, RepresentativeDays: 2})
+	if err != nil {
+		b.Fatalf("generate catalog: %v", err)
+	}
+	spec := core.DefaultSpec()
+	spec.TotalCapacityKW = 10_000
+	candidates, err := core.FilterSites(cat, spec, 15)
+	if err != nil {
+		b.Fatalf("filter sites: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.SolveOptions{Candidates: candidates, Chains: 4, MaxIterations: 40, Seed: 1}
+		if _, err := core.Solve(cat, spec, opts); err != nil {
+			b.Fatalf("solve: %v", err)
 		}
 	}
 }

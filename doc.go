@@ -18,6 +18,30 @@
 // simulated annealing, the within-datacenter VM manager and the emulated
 // wide-area network — is implemented from scratch under internal/.
 //
+// # The evaluator hot path
+//
+// The heuristic solver evaluates Chains × MaxIterations candidate sitings
+// per solve, and every sweep experiment solves once per green-fraction
+// point per storage mode per source mix, so the siting evaluator is the
+// system's hot path.  It is built around internal/core's Evaluator: a
+// reusable object bound to one (catalog, spec) pair that owns every scratch
+// buffer the pipeline needs — flattened compute/migration/demand/green
+// matrices, sort index buffers, the storage-balance series — plus
+// per-catalog caches of the brown-cost rank key, the unit green production
+// costs and the solar/wind technology split of every site.
+//
+// Reuse contract: scratch grows to the largest candidate set seen and is
+// then reused, so a steady-state EvaluateCost call performs zero heap
+// allocations (BenchmarkEvaluateSteadyState and the core tests enforce
+// exactly 0 allocs/op); the full Evaluate method allocates only the
+// returned Solution.  An Evaluator is not safe for concurrent use — the
+// parallel annealing chains draw evaluators from a sync.Pool, and the
+// sweep experiments fan points across a GOMAXPROCS-sized worker pool with
+// one solver (and thus one pool) per point.  Annealing chains are fully
+// independent with deterministic per-chain RNG seeds and a deterministic
+// best-of merge, so a fixed seed yields a bit-identical Solution whether
+// the chains run sequentially or in parallel.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for measured-versus-paper results.

@@ -1,0 +1,3 @@
+module greencloud
+
+go 1.24

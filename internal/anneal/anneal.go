@@ -1,8 +1,14 @@
 // Package anneal provides a generic simulated-annealing search with parallel
-// search instances that periodically exchange their best solutions, following
-// the heuristic solver described in Section II-C of the paper: several
-// annealing chains explore siting/provisioning neighbourhoods with different
-// move mixes on multiple cores and synchronize on the current best solution.
+// search instances, following the heuristic solver described in Section II-C
+// of the paper: several annealing chains explore siting/provisioning
+// neighbourhoods on multiple cores.
+//
+// Chains are fully independent: each runs on its own goroutine with a
+// deterministic per-chain RNG seed, and the results are merged with a
+// deterministic best-of rule (lowest energy wins, ties go to the lowest
+// chain index).  Because no state is exchanged mid-run, the outcome of Run
+// is bit-identical for a fixed Seed regardless of how the goroutines are
+// scheduled — and identical to running the chains sequentially (Sequential).
 package anneal
 
 import (
@@ -15,6 +21,10 @@ import (
 // Config describes one annealing run over states of type S.  Energy is the
 // value being minimized.  Neighbor must return a new state and must not
 // mutate its argument.
+//
+// When Chains > 1, Energy and Neighbor are called concurrently from
+// multiple goroutines and must be safe for concurrent use (e.g. by keeping
+// per-call state in a sync.Pool).
 type Config[S any] struct {
 	// Initial is the starting state for every chain.
 	Initial S
@@ -41,11 +51,17 @@ type Config[S any] struct {
 
 	// Chains is the number of parallel search instances (default 1).
 	Chains int
-	// SyncEvery is the number of iterations between best-solution
-	// exchanges among chains (default 50).
+	// SyncEvery is retained for configuration compatibility.
+	//
+	// Deprecated: mid-run best-solution exchange was removed to make runs
+	// deterministic under parallel execution; the field is ignored.
 	SyncEvery int
-	// Seed makes the run reproducible for a fixed number of chains.
+	// Seed makes the run reproducible.
 	Seed int64
+	// Sequential runs the chains one after another on the calling
+	// goroutine instead of in parallel.  The result is identical either
+	// way; the switch exists so tests can verify exactly that.
+	Sequential bool
 }
 
 // Result is the outcome of an annealing run.
@@ -76,34 +92,15 @@ func (c Config[S]) withDefaults() Config[S] {
 	if c.Chains <= 0 {
 		c.Chains = 1
 	}
-	if c.SyncEvery <= 0 {
-		c.SyncEvery = 50
-	}
 	return c
 }
 
-// sharedBest is the synchronization point between chains.
-type sharedBest[S any] struct {
-	mu     sync.Mutex
-	state  S
-	energy float64
-	valid  bool
-}
-
-func (sb *sharedBest[S]) offer(state S, energy float64) {
-	sb.mu.Lock()
-	defer sb.mu.Unlock()
-	if !sb.valid || energy < sb.energy {
-		sb.state = state
-		sb.energy = energy
-		sb.valid = true
-	}
-}
-
-func (sb *sharedBest[S]) get() (S, float64, bool) {
-	sb.mu.Lock()
-	defer sb.mu.Unlock()
-	return sb.state, sb.energy, sb.valid
+// chainResult is the outcome of one independent chain.
+type chainResult[S any] struct {
+	best        S
+	bestEnergy  float64
+	iterations  int
+	evaluations int
 }
 
 // Run executes the annealing search and returns the best state found.
@@ -115,8 +112,6 @@ func Run[S any](cfg Config[S]) (Result[S], error) {
 	cfg = cfg.withDefaults()
 
 	initialEnergy := cfg.Energy(cfg.Initial)
-	shared := &sharedBest[S]{}
-	shared.offer(cfg.Initial, initialEnergy)
 
 	initialTemp := cfg.InitialTemp
 	if initialTemp <= 0 {
@@ -127,77 +122,76 @@ func Run[S any](cfg Config[S]) (Result[S], error) {
 		minTemp = initialTemp * 1e-6
 	}
 
-	type chainResult struct {
-		iterations  int
-		evaluations int
-	}
-	results := make([]chainResult, cfg.Chains)
+	runChain := func(chainID int) chainResult[S] {
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(chainID)*15485863 + 1))
+		current := cfg.Initial
+		currentEnergy := initialEnergy
+		best := cfg.Initial
+		bestEnergy := currentEnergy
+		temp := initialTemp
+		stale := 0
+		iters := 0
+		evals := 0
 
-	var wg sync.WaitGroup
-	for chain := 0; chain < cfg.Chains; chain++ {
-		wg.Add(1)
-		go func(chainID int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(chainID)*15485863 + 1))
-			current := cfg.Initial
-			currentEnergy := initialEnergy
-			bestEnergy := currentEnergy
-			temp := initialTemp
-			stale := 0
-			iters := 0
-			evals := 0
+		for iters < cfg.MaxIterations && stale < cfg.MaxStale && temp > minTemp {
+			iters++
+			candidate := cfg.Neighbor(current, rng)
+			candEnergy := cfg.Energy(candidate)
+			evals++
 
-			for iters < cfg.MaxIterations && stale < cfg.MaxStale && temp > minTemp {
-				iters++
-				candidate := cfg.Neighbor(current, rng)
-				candEnergy := cfg.Energy(candidate)
-				evals++
-
-				accept := false
-				switch {
-				case math.IsInf(candEnergy, 1):
-					accept = false
-				case candEnergy <= currentEnergy:
-					accept = true
-				default:
-					delta := candEnergy - currentEnergy
-					accept = rng.Float64() < math.Exp(-delta/temp)
-				}
-				if accept {
-					current = candidate
-					currentEnergy = candEnergy
-					if candEnergy < bestEnergy {
-						bestEnergy = candEnergy
-						shared.offer(candidate, candEnergy)
-						stale = 0
-					} else {
-						stale++
-					}
+			accept := false
+			switch {
+			case math.IsInf(candEnergy, 1):
+				accept = false
+			case candEnergy <= currentEnergy:
+				accept = true
+			default:
+				delta := candEnergy - currentEnergy
+				accept = rng.Float64() < math.Exp(-delta/temp)
+			}
+			if accept {
+				current = candidate
+				currentEnergy = candEnergy
+				if candEnergy < bestEnergy {
+					best = candidate
+					bestEnergy = candEnergy
+					stale = 0
 				} else {
 					stale++
 				}
-
-				// Periodically adopt the globally best solution so chains
-				// explore around the current frontier.
-				if iters%cfg.SyncEvery == 0 {
-					if state, energy, ok := shared.get(); ok && energy < currentEnergy {
-						current = state
-						currentEnergy = energy
-						if energy < bestEnergy {
-							bestEnergy = energy
-						}
-					}
-				}
-				temp *= cfg.CoolingRate
+			} else {
+				stale++
 			}
-			results[chainID] = chainResult{iterations: iters, evaluations: evals}
-		}(chain)
+			temp *= cfg.CoolingRate
+		}
+		return chainResult[S]{best: best, bestEnergy: bestEnergy, iterations: iters, evaluations: evals}
 	}
-	wg.Wait()
 
-	state, energy, _ := shared.get()
-	res := Result[S]{Best: state, BestEnergy: energy, Evaluations: 1}
+	results := make([]chainResult[S], cfg.Chains)
+	if cfg.Sequential || cfg.Chains == 1 {
+		for chain := 0; chain < cfg.Chains; chain++ {
+			results[chain] = runChain(chain)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for chain := 0; chain < cfg.Chains; chain++ {
+			wg.Add(1)
+			go func(chainID int) {
+				defer wg.Done()
+				results[chainID] = runChain(chainID)
+			}(chain)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic best-of merge: strictly lower energy wins, so ties keep
+	// the lowest chain index and the outcome never depends on scheduling.
+	res := Result[S]{Best: cfg.Initial, BestEnergy: initialEnergy, Evaluations: 1}
 	for _, r := range results {
+		if r.bestEnergy < res.BestEnergy {
+			res.Best = r.best
+			res.BestEnergy = r.bestEnergy
+		}
 		res.Iterations += r.iterations
 		res.Evaluations += r.evaluations
 	}

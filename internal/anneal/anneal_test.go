@@ -166,6 +166,36 @@ func TestDeterministicForFixedSeedSingleChain(t *testing.T) {
 	}
 }
 
+func TestParallelMatchesSequential(t *testing.T) {
+	// Chains are independent and merged deterministically, so running them
+	// on one goroutine or many must give bit-identical results.
+	cfg := Config[float64]{
+		Initial: 40,
+		Energy: func(x float64) float64 {
+			return 0.1*x*x + 5*math.Abs(math.Sin(x))
+		},
+		Neighbor: func(x float64, rng *rand.Rand) float64 {
+			return x + rng.NormFloat64()*3
+		},
+		MaxIterations: 600,
+		Seed:          13,
+		Chains:        4,
+	}
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sequential = true
+	sequential, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Best != sequential.Best || parallel.BestEnergy != sequential.BestEnergy ||
+		parallel.Iterations != sequential.Iterations || parallel.Evaluations != sequential.Evaluations {
+		t.Errorf("parallel %+v and sequential %+v runs differ", parallel, sequential)
+	}
+}
+
 func TestStaleStopBoundsEvaluations(t *testing.T) {
 	// An energy function that never improves: the chain must stop after
 	// MaxStale iterations, not run to MaxIterations.

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"sort"
 
 	"greencloud/internal/cost"
 	"greencloud/internal/energy"
@@ -36,186 +34,46 @@ const plantScaleCeiling = 50.0
 // deterministic and never returns an error for merely infeasible inputs —
 // those come back as a Solution with Feasible == false so the search can
 // treat them as very expensive states.
+//
+// Evaluate constructs a fresh Evaluator per call.  Hot loops that evaluate
+// many sitings against the same catalog and spec (the annealing chains, the
+// sweep experiments, location filtering) should create one Evaluator and
+// reuse it — its EvaluateCost method is allocation-free in steady state.
 func Evaluate(cat *location.Catalog, candidates []Candidate, spec Spec) (*Solution, error) {
-	spec = spec.withDefaults()
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if len(candidates) == 0 {
-		return nil, ErrNoSites
-	}
-	sites := make([]*location.Site, len(candidates))
-	for i, c := range candidates {
-		s, err := cat.Site(c.SiteID)
-		if err != nil {
-			return nil, fmt.Errorf("core: candidate %d: %w", i, err)
-		}
-		sites[i] = s
-	}
-	grid := cat.Grid()
-
-	sol := &Solution{Spec: spec, Feasible: true}
-
-	capacities := resolveCapacities(candidates, spec)
-	totalCap := 0.0
-	for _, c := range capacities {
-		totalCap += c
-	}
-	if totalCap+1e-6 < spec.TotalCapacityKW {
-		sol.addViolation("provisioned capacity %.1f kW below required %.1f kW", totalCap, spec.TotalCapacityKW)
-	}
-
-	// Availability constraints.
-	minDCs, err := spec.MinDatacenters()
+	e, err := NewEvaluator(cat, spec)
 	if err != nil {
 		return nil, err
 	}
-	if len(sites) < minDCs {
-		sol.addViolation("%d datacenters cannot reach availability %.5f (need ≥ %d)",
-			len(sites), spec.MinAvailability, minDCs)
-	}
-	if spec.MaxDatacenters > 0 && len(sites) > spec.MaxDatacenters {
-		sol.addViolation("%d datacenters exceed the cap of %d", len(sites), spec.MaxDatacenters)
-	}
-	// Survivability: each datacenter must hold at least a 1/n share.
-	minShare := spec.TotalCapacityKW / float64(len(sites))
-	for i, c := range capacities {
-		if c+1e-6 < minShare {
-			sol.addViolation("site %s capacity %.1f kW below survivable share %.1f kW",
-				sites[i].Name, c, minShare)
-			break
-		}
-	}
-
-	// Iterate schedule → plant sizing → schedule: the load schedule depends
-	// on where green energy is produced and vice versa.
-	weights := epochWeights(grid)
-	compute := scheduleLoad(sites, capacities, nil, nil, spec, grid)
-	var solarKW, windKW []float64
-	for iter := 0; iter < 3; iter++ {
-		solarKW, windKW = sizePlants(sites, capacities, compute, spec, grid)
-		compute = scheduleLoad(sites, capacities, solarKW, windKW, spec, grid)
-	}
-	batteryKWh := sizeBatteries(sites, solarKW, windKW, spec)
-
-	// Final accounting per site.
-	migration := migrationSeries(compute, spec.MigrationFraction)
-	aggregate := cost.Breakdown{}
-	totalDemandKWh, totalGreenKWh := 0.0, 0.0
-	for i, site := range sites {
-		demand := demandSeries(site, compute[i], migration[i])
-		green := greenSeries(site, solarKW[i], windKW[i])
-		res, err := energy.Balance(energy.BalanceInput{
-			GreenKW:            green,
-			DemandKW:           demand,
-			Weights:            weights,
-			Mode:               spec.Storage,
-			BatteryCapacityKWh: batteryKWh[i],
-			BatteryEfficiency:  spec.Cost.BatteryEfficiency,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: balance for %s: %w", site.Name, err)
-		}
-
-		maxBrown := 0.0
-		for _, b := range res.BrownKW {
-			if b > maxBrown {
-				maxBrown = b
-			}
-		}
-		if maxBrown > site.NearestPlantKW*maxBrownShareOfPlant {
-			sol.addViolation("site %s draws %.0f kW of brown power, above %.0f%% of the nearest plant (%.0f kW)",
-				site.Name, maxBrown, 100*maxBrownShareOfPlant, site.NearestPlantKW)
-		}
-
-		prov := cost.Provision{
-			CapacityKW: capacities[i],
-			MaxPUE:     site.MaxPUE,
-			SolarKW:    solarKW[i],
-			WindKW:     windKW[i],
-			BatteryKWh: batteryKWh[i],
-		}
-		use := cost.EnergyUse{
-			BrownKWh:         res.BrownKWh,
-			NetChargedKWh:    res.NetChargedKWh,
-			NetDischargedKWh: res.NetDischargedKWh,
-		}
-		breakdown := spec.Cost.MonthlySite(site, prov, use)
-		aggregate = aggregate.Add(breakdown)
-		totalDemandKWh += res.DemandKWh
-		totalGreenKWh += res.GreenUsedKWh + res.BattDischargedKWh + res.NetDischargedKWh
-
-		sol.Sites = append(sol.Sites, SiteSolution{
-			Site:          site,
-			Provision:     prov,
-			Energy:        use,
-			Breakdown:     breakdown,
-			GreenFraction: res.GreenFraction(),
-			ComputeKW:     compute[i],
-			MigrationKW:   migration[i],
-			BrownKW:       res.BrownKW,
-			GreenKW:       green,
-		})
-		sol.ProvisionedCapacityKW += capacities[i]
-		sol.SolarKW += solarKW[i]
-		sol.WindKW += windKW[i]
-		sol.BatteryKWh += batteryKWh[i]
-	}
-
-	sol.Breakdown = aggregate
-	sol.TotalMonthlyUSD = aggregate.Total()
-	if totalDemandKWh > 0 {
-		sol.GreenFraction = math.Min(1, totalGreenKWh/totalDemandKWh)
-	} else {
-		sol.GreenFraction = 1
-	}
-	if sol.GreenFraction+1e-3 < spec.MinGreenFraction {
-		sol.addViolation("green fraction %.3f below required %.3f", sol.GreenFraction, spec.MinGreenFraction)
-	}
-	return sol, nil
+	return e.Evaluate(candidates)
 }
 
 // EvaluateSingleSite prices a single datacenter of the given capacity at one
 // site under the spec's green-fraction and storage settings.  It is used for
 // the per-location cost exploration of Fig. 6 and for location filtering.
 func EvaluateSingleSite(cat *location.Catalog, siteID int, capacityKW float64, spec Spec) (*Solution, error) {
-	spec = spec.withDefaults()
-	spec.TotalCapacityKW = capacityKW
-	// A single site is exempt from the network availability rule here: one
-	// paper-tier datacenter always satisfies this relaxed target, so the
-	// per-location cost of Fig. 6 is not polluted by the network constraint.
-	spec.MinAvailability = 0.5
-	return Evaluate(cat, []Candidate{{SiteID: siteID, CapacityKW: capacityKW}}, spec)
+	e, err := NewSingleSiteEvaluator(cat, capacityKW, spec)
+	if err != nil {
+		return nil, err
+	}
+	return e.Evaluate([]Candidate{{SiteID: siteID, CapacityKW: capacityKW}})
 }
 
-// resolveCapacities fills in unspecified capacities with equal shares of the
-// required total.
-func resolveCapacities(candidates []Candidate, spec Spec) []float64 {
-	out := make([]float64, len(candidates))
-	unspecified := 0
-	specified := 0.0
-	for i, c := range candidates {
-		if c.CapacityKW > 0 {
-			out[i] = c.CapacityKW
-			specified += c.CapacityKW
-		} else {
-			unspecified++
-		}
-	}
-	if unspecified > 0 {
-		remaining := spec.TotalCapacityKW - specified
-		share := remaining / float64(unspecified)
-		minShare := spec.TotalCapacityKW / float64(len(candidates))
-		if share < minShare {
-			share = minShare
-		}
-		for i := range out {
-			if out[i] == 0 {
-				out[i] = share
-			}
-		}
-	}
-	return out
+// NewSingleSiteEvaluator returns a reusable evaluator carrying the
+// EvaluateSingleSite spec transform, for hot loops that price one
+// datacenter of the given capacity at many locations (Fig. 6, Table II,
+// location filtering).
+func NewSingleSiteEvaluator(cat *location.Catalog, capacityKW float64, spec Spec) (*Evaluator, error) {
+	return NewEvaluator(cat, singleSiteSpec(spec.withDefaults(), capacityKW))
+}
+
+// singleSiteSpec adapts a network spec to pricing one datacenter of the
+// given capacity.  A single site is exempt from the network availability
+// rule: one paper-tier datacenter always satisfies this relaxed target, so
+// the per-location cost of Fig. 6 is not polluted by the network constraint.
+func singleSiteSpec(spec Spec, capacityKW float64) Spec {
+	spec.TotalCapacityKW = capacityKW
+	spec.MinAvailability = 0.5
+	return spec
 }
 
 func epochWeights(grid *timeseries.Grid) []float64 {
@@ -223,136 +81,6 @@ func epochWeights(grid *timeseries.Grid) []float64 {
 	out := make([]float64, len(epochs))
 	for i, e := range epochs {
 		out[i] = e.Weight
-	}
-	return out
-}
-
-// scheduleLoad assigns the required total compute power to sites in every
-// epoch, following the renewables: sites with more green energy available in
-// an epoch receive load first; any remainder goes to the sites with the
-// cheapest brown energy.  Assignments never exceed a site's capacity.
-func scheduleLoad(sites []*location.Site, capacities []float64, solarKW, windKW []float64,
-	spec Spec, grid *timeseries.Grid) [][]float64 {
-
-	n := len(sites)
-	nEpochs := grid.Len()
-	compute := make([][]float64, n)
-	for i := range compute {
-		compute[i] = make([]float64, nEpochs)
-	}
-
-	// Brown cost rank: cheaper grid energy × PUE first.
-	brownRank := make([]int, n)
-	for i := range brownRank {
-		brownRank[i] = i
-	}
-	sort.Slice(brownRank, func(a, b int) bool {
-		ia, ib := brownRank[a], brownRank[b]
-		return sites[ia].GridPriceUSDPerKWh*sites[ia].AvgPUE < sites[ib].GridPriceUSDPerKWh*sites[ib].AvgPUE
-	})
-
-	type greenAvail struct {
-		idx   int
-		green float64
-	}
-	for t := 0; t < nEpochs; t++ {
-		remaining := spec.TotalCapacityKW
-
-		if solarKW == nil && windKW == nil {
-			// No plants yet: spread the load proportionally to capacity so
-			// the first plant-sizing pass sees a stable demand.
-			totalCap := 0.0
-			for _, c := range capacities {
-				totalCap += c
-			}
-			for i := range sites {
-				compute[i][t] = spec.TotalCapacityKW * capacities[i] / totalCap
-			}
-			continue
-		}
-
-		avails := make([]greenAvail, n)
-		for i, s := range sites {
-			g := 0.0
-			if solarKW != nil {
-				g += s.Alpha[t] * solarKW[i]
-			}
-			if windKW != nil {
-				g += s.Beta[t] * windKW[i]
-			}
-			avails[i] = greenAvail{idx: i, green: g}
-		}
-		sort.Slice(avails, func(a, b int) bool { return avails[a].green > avails[b].green })
-
-		// First pass: load goes where green power is, up to the power the
-		// green plant can actually feed (divided by PUE to convert facility
-		// power back to IT power) and up to the site's capacity.
-		for _, av := range avails {
-			if remaining <= 0 {
-				break
-			}
-			i := av.idx
-			pueT := sites[i].PUE[t]
-			greenSupportedIT := av.green / pueT
-			take := math.Min(remaining, math.Min(capacities[i], greenSupportedIT))
-			if take > 0 {
-				compute[i][t] = take
-				remaining -= take
-			}
-		}
-		// Second pass: leftover load goes to the cheapest brown sites.
-		for _, i := range brownRank {
-			if remaining <= 0 {
-				break
-			}
-			room := capacities[i] - compute[i][t]
-			if room <= 0 {
-				continue
-			}
-			take := math.Min(remaining, room)
-			compute[i][t] += take
-			remaining -= take
-		}
-		// Any unplaceable remainder is left unassigned; the capacity
-		// violation is recorded by Evaluate through the capacity check.
-	}
-	return compute
-}
-
-// migrationSeries derives the per-epoch migration overhead power at each
-// site: when a site's compute assignment drops between consecutive epochs,
-// the migrated load consumes power at the donor for migrationFraction of the
-// next epoch (the paper's migratePow).
-func migrationSeries(compute [][]float64, migrationFraction float64) [][]float64 {
-	out := make([][]float64, len(compute))
-	for i := range compute {
-		out[i] = make([]float64, len(compute[i]))
-		for t := 1; t < len(compute[i]); t++ {
-			drop := compute[i][t-1] - compute[i][t]
-			if drop > 0 {
-				out[i][t] = migrationFraction * drop
-			}
-		}
-	}
-	return out
-}
-
-// demandSeries converts IT power plus migration overhead into facility power
-// using the site's per-epoch PUE (the paper's powDemand).
-func demandSeries(site *location.Site, compute, migration []float64) []float64 {
-	out := make([]float64, len(compute))
-	for t := range compute {
-		out[t] = (compute[t] + migration[t]) * site.PUE[t]
-	}
-	return out
-}
-
-// greenSeries is the site's on-site green production per epoch for the given
-// plant sizes.
-func greenSeries(site *location.Site, solarKW, windKW float64) []float64 {
-	out := make([]float64, len(site.Alpha))
-	for t := range out {
-		out[t] = site.Alpha[t]*solarKW + site.Beta[t]*windKW
 	}
 	return out
 }
@@ -383,15 +111,15 @@ func unitGreenCost(site *location.Site, solar bool, p cost.Params) float64 {
 
 // techWeights decides how a site splits its green plant between solar and
 // wind, based on which technology delivers cheaper usable energy there and
-// on which technologies the spec allows.
-func techWeights(site *location.Site, spec Spec) (solarW, windW float64) {
-	ucSolar := math.Inf(1)
-	ucWind := math.Inf(1)
-	if spec.Sources == SolarOnly || spec.Sources == SolarAndWind {
-		ucSolar = unitGreenCost(site, true, spec.Cost)
+// on which technologies the spec allows.  ucSolar and ucWind are the site's
+// unit green costs (from unitGreenCost); the caller passes them in so that
+// per-catalog caches need to price each technology only once per site.
+func techWeights(ucSolar, ucWind float64, spec Spec) (solarW, windW float64) {
+	if spec.Sources == WindOnly {
+		ucSolar = math.Inf(1)
 	}
-	if spec.Sources == WindOnly || spec.Sources == SolarAndWind {
-		ucWind = unitGreenCost(site, false, spec.Cost)
+	if spec.Sources == SolarOnly {
+		ucWind = math.Inf(1)
 	}
 	switch {
 	case math.IsInf(ucSolar, 1) && math.IsInf(ucWind, 1):
@@ -417,185 +145,6 @@ func techWeights(site *location.Site, spec Spec) (solarW, windW float64) {
 	return 1, 0
 }
 
-// sizePlants chooses solar and wind capacities per site so the network
-// reaches the spec's green fraction for the given load schedule: base sizes
-// are allocated greedily to the sites with the cheapest green energy, and a
-// global bisection then scales them to hit the target exactly.
-func sizePlants(sites []*location.Site, capacities []float64, compute [][]float64,
-	spec Spec, grid *timeseries.Grid) (solarKW, windKW []float64) {
-
-	n := len(sites)
-	solarKW = make([]float64, n)
-	windKW = make([]float64, n)
-	if spec.MinGreenFraction <= 0 {
-		return solarKW, windKW
-	}
-	weights := epochWeights(grid)
-	migration := migrationSeries(compute, spec.MigrationFraction)
-
-	// Yearly demand per site for the current schedule.
-	demand := make([][]float64, n)
-	demandKWh := make([]float64, n)
-	totalDemandKWh := 0.0
-	for i, s := range sites {
-		demand[i] = demandSeries(s, compute[i], migration[i])
-		for t, d := range demand[i] {
-			demandKWh[i] += d * weights[t]
-		}
-		totalDemandKWh += demandKWh[i]
-	}
-
-	// A site's green plant can only serve that site's own demand (plus what
-	// storage lets it shift in time), so the greedy allocation caps what a
-	// single site is asked to cover at a fraction of its yearly demand and
-	// spills the rest to the next-cheapest site.  The global bisection below
-	// then scales everything to hit the target exactly.
-	const usableFactor = 0.85
-
-	// Blended unit cost per site and greedy base allocation.
-	type siteCost struct {
-		idx           int
-		unit          float64
-		solarW, windW float64
-		solarU, windU float64
-	}
-	costs := make([]siteCost, 0, n)
-	for i, s := range sites {
-		sw, ww := techWeights(s, spec)
-		if sw == 0 && ww == 0 {
-			continue
-		}
-		ucS := unitGreenCost(s, true, spec.Cost)
-		ucW := unitGreenCost(s, false, spec.Cost)
-		blended := 0.0
-		if sw > 0 {
-			blended += sw * ucS
-		}
-		if ww > 0 {
-			blended += ww * ucW
-		}
-		costs = append(costs, siteCost{idx: i, unit: blended, solarW: sw, windW: ww, solarU: ucS, windU: ucW})
-	}
-	sort.Slice(costs, func(a, b int) bool { return costs[a].unit < costs[b].unit })
-
-	requiredKWh := spec.MinGreenFraction * totalDemandKWh
-	remaining := requiredKWh
-	baseSolar := make([]float64, n)
-	baseWind := make([]float64, n)
-	allocate := func(i int, allocKWh, solarW, windW float64) {
-		if allocKWh <= 0 {
-			return
-		}
-		if solarW > 0 && sites[i].SolarCapacityFactor > 0.02 {
-			baseSolar[i] += allocKWh * solarW / (sites[i].SolarCapacityFactor * float64(timeseries.HoursPerYear))
-		}
-		if windW > 0 && sites[i].WindCapacityFactor > 0.02 {
-			baseWind[i] += allocKWh * windW / (sites[i].WindCapacityFactor * float64(timeseries.HoursPerYear))
-		}
-	}
-	for _, c := range costs {
-		if remaining <= 0 {
-			break
-		}
-		i := c.idx
-		allocKWh := math.Min(remaining, usableFactor*demandKWh[i])
-		allocate(i, allocKWh, c.solarW, c.windW)
-		remaining -= allocKWh
-	}
-	// Whatever is left cannot be served by any single site within its usable
-	// share; spread it across all viable sites proportionally to demand so
-	// the bisection still has plants to scale (the green-fraction violation,
-	// if any, is reported by the caller).
-	if remaining > 1e-9 && len(costs) > 0 {
-		viableDemand := 0.0
-		for _, c := range costs {
-			viableDemand += demandKWh[c.idx]
-		}
-		if viableDemand > 0 {
-			for _, c := range costs {
-				allocate(c.idx, remaining*demandKWh[c.idx]/viableDemand, c.solarW, c.windW)
-			}
-		}
-	}
-
-	// Global scale bisection to hit the target green fraction under the
-	// real storage dynamics.
-	evalFraction := func(scale float64) float64 {
-		greenTotal, demandTotal := 0.0, 0.0
-		for i, s := range sites {
-			green := make([]float64, grid.Len())
-			for t := range green {
-				green[t] = s.Alpha[t]*baseSolar[i]*scale + s.Beta[t]*baseWind[i]*scale
-			}
-			battCap := batteryCapacityFor(baseSolar[i]*scale, baseWind[i]*scale, s, spec)
-			res, err := energy.Balance(energy.BalanceInput{
-				GreenKW:            green,
-				DemandKW:           demand[i],
-				Weights:            weights,
-				Mode:               spec.Storage,
-				BatteryCapacityKWh: battCap,
-				BatteryEfficiency:  spec.Cost.BatteryEfficiency,
-			})
-			if err != nil {
-				return 0
-			}
-			greenTotal += res.GreenUsedKWh + res.BattDischargedKWh + res.NetDischargedKWh
-			demandTotal += res.DemandKWh
-		}
-		if demandTotal <= 0 {
-			return 1
-		}
-		return greenTotal / demandTotal
-	}
-
-	if evalFraction(1) >= spec.MinGreenFraction {
-		// Shrink: find the smallest sufficient scale.
-		lo, hi := 0.0, 1.0
-		for iter := 0; iter < 40; iter++ {
-			mid := (lo + hi) / 2
-			if evalFraction(mid) >= spec.MinGreenFraction {
-				hi = mid
-			} else {
-				lo = mid
-			}
-		}
-		applyScale(baseSolar, baseWind, hi, solarKW, windKW)
-		return solarKW, windKW
-	}
-	// Grow: find a sufficient ceiling, then bisect down.
-	hi := 1.0
-	for hi < plantScaleCeiling && evalFraction(hi) < spec.MinGreenFraction {
-		hi *= 2
-	}
-	if hi > plantScaleCeiling {
-		hi = plantScaleCeiling
-	}
-	if evalFraction(hi) < spec.MinGreenFraction {
-		// Unreachable with this siting; return the ceiling so the caller
-		// records the green-fraction violation.
-		applyScale(baseSolar, baseWind, hi, solarKW, windKW)
-		return solarKW, windKW
-	}
-	lo := hi / 2
-	for iter := 0; iter < 40; iter++ {
-		mid := (lo + hi) / 2
-		if evalFraction(mid) >= spec.MinGreenFraction {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	applyScale(baseSolar, baseWind, hi, solarKW, windKW)
-	return solarKW, windKW
-}
-
-func applyScale(baseSolar, baseWind []float64, scale float64, solarKW, windKW []float64) {
-	for i := range baseSolar {
-		solarKW[i] = baseSolar[i] * scale
-		windKW[i] = baseWind[i] * scale
-	}
-}
-
 // batteryCapacityFor sizes a site's battery bank as BatteryHours hours of the
 // plant's average production (zero unless battery storage is selected).
 func batteryCapacityFor(solarKW, windKW float64, site *location.Site, spec Spec) float64 {
@@ -604,14 +153,4 @@ func batteryCapacityFor(solarKW, windKW float64, site *location.Site, spec Spec)
 	}
 	avgProduction := solarKW*site.SolarCapacityFactor + windKW*site.WindCapacityFactor
 	return spec.BatteryHours * avgProduction
-}
-
-// sizeBatteries returns the battery capacity per site for the final plant
-// sizes.
-func sizeBatteries(sites []*location.Site, solarKW, windKW []float64, spec Spec) []float64 {
-	out := make([]float64, len(sites))
-	for i, s := range sites {
-		out[i] = batteryCapacityFor(solarKW[i], windKW[i], s, spec)
-	}
-	return out
 }

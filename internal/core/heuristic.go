@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"greencloud/internal/anneal"
 	"greencloud/internal/location"
@@ -28,6 +29,11 @@ type SolveOptions struct {
 	// CapacityQuantumKW is the step used by capacity-changing moves;
 	// default TotalCapacityKW/8.
 	CapacityQuantumKW float64
+	// Sequential runs the annealing chains one after another instead of
+	// in parallel.  The solution is identical either way (chains are
+	// independent and merged deterministically); the switch exists so the
+	// determinism regression tests can verify exactly that.
+	Sequential bool
 }
 
 func (o SolveOptions) withDefaults(spec Spec) SolveOptions {
@@ -71,30 +77,47 @@ func FilterSites(cat *location.Catalog, spec Spec, keep int) ([]int, error) {
 	}
 	refCapacity := spec.TotalCapacityKW / float64(minDCs)
 
+	// One reusable evaluator per single-site spec: pricing every location in
+	// the catalog is the filter's hot loop, and the cached evaluators make
+	// each probe allocation-free.
+	brownSpec := spec
+	brownSpec.MinGreenFraction = 0
+	brownEval, err := NewEvaluator(cat, singleSiteSpec(brownSpec, refCapacity))
+	if err != nil {
+		return nil, fmt.Errorf("core: filter: %w", err)
+	}
+	var greenEval *Evaluator
+	if spec.MinGreenFraction > 0 {
+		greenEval, err = NewEvaluator(cat, singleSiteSpec(spec, refCapacity))
+		if err != nil {
+			return nil, fmt.Errorf("core: filter: %w", err)
+		}
+	}
+
 	type scored struct {
 		id    int
 		score float64
 	}
 	scores := make([]scored, 0, cat.Len())
+	probe := make([]Candidate, 1)
 	for _, site := range cat.Sites() {
+		probe[0] = Candidate{SiteID: site.ID, CapacityKW: refCapacity}
 		// Brown reference cost.
-		brownSpec := spec
-		brownSpec.MinGreenFraction = 0
-		brown, err := EvaluateSingleSite(cat, site.ID, refCapacity, brownSpec)
+		brown, err := brownEval.EvaluateCost(probe)
 		if err != nil {
 			return nil, fmt.Errorf("core: filter: %w", err)
 		}
-		score := brown.TotalMonthlyUSD
-		if spec.MinGreenFraction > 0 {
-			green, err := EvaluateSingleSite(cat, site.ID, refCapacity, spec)
+		score := brown.MonthlyUSD
+		if greenEval != nil {
+			green, err := greenEval.EvaluateCost(probe)
 			if err != nil {
 				return nil, fmt.Errorf("core: filter: %w", err)
 			}
 			// A site that cannot reach the green target alone is still
 			// useful in a network, so only use its cost as the score.
-			score = math.Min(score, green.TotalMonthlyUSD)
+			score = math.Min(score, green.MonthlyUSD)
 			if green.Feasible {
-				score = green.TotalMonthlyUSD
+				score = green.MonthlyUSD
 			}
 		}
 		scores = append(scores, scored{id: site.ID, score: score})
@@ -166,15 +189,35 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 			ErrInfeasible, len(filtered), minDCs)
 	}
 
-	evaluate := func(s siting) (*Solution, float64) {
-		sol, err := Evaluate(cat, s.candidates, spec)
-		if err != nil || !sol.Feasible {
-			return sol, math.Inf(1)
+	// The annealing chains run concurrently, and an Evaluator is single-
+	// threaded, so the energy function draws one from a pool.  Evaluators
+	// are pure functions of the candidate set, so which chain gets which
+	// evaluator never affects the result.
+	first, err := NewEvaluator(cat, spec)
+	if err != nil {
+		return nil, err
+	}
+	pool := sync.Pool{New: func() any {
+		ev, err := NewEvaluator(cat, spec)
+		if err != nil {
+			// NewEvaluator only fails on inputs already validated above.
+			panic(err)
 		}
-		return sol, sol.TotalMonthlyUSD
+		return ev
+	}}
+	pool.Put(first)
+
+	energyOf := func(s siting) float64 {
+		ev := pool.Get().(*Evaluator)
+		res, err := ev.EvaluateCost(s.candidates)
+		pool.Put(ev)
+		if err != nil || !res.Feasible {
+			return math.Inf(1)
+		}
+		return res.MonthlyUSD
 	}
 
-	initial := buildInitialSiting(cat, filtered, minDCs, spec, evaluate)
+	initial := buildInitialSiting(cat, filtered, minDCs, spec, energyOf)
 
 	maxDCs := spec.MaxDatacenters
 	if maxDCs == 0 {
@@ -228,17 +271,14 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 	}
 
 	result, err := anneal.Run(anneal.Config[siting]{
-		Initial: initial,
-		Energy: func(s siting) float64 {
-			_, e := evaluate(s)
-			return e
-		},
+		Initial:       initial,
+		Energy:        energyOf,
 		Neighbor:      neighbor,
 		MaxIterations: opts.MaxIterations,
 		MaxStale:      opts.MaxIterations / 2,
 		Chains:        opts.Chains,
-		SyncEvery:     25,
 		Seed:          opts.Seed,
+		Sequential:    opts.Sequential,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: anneal: %w", err)
@@ -246,7 +286,12 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 	if math.IsInf(result.BestEnergy, 1) {
 		return nil, ErrInfeasible
 	}
-	best, _ := evaluate(result.Best)
+	ev := pool.Get().(*Evaluator)
+	best, err := ev.Evaluate(result.Best.candidates)
+	pool.Put(ev)
+	if err != nil {
+		return nil, err
+	}
 	return best, nil
 }
 
@@ -254,7 +299,7 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 // with the lowest energy, preferring feasible states so the annealing chains
 // start from somewhere useful.
 func buildInitialSiting(cat *location.Catalog, filtered []int, minDCs int, spec Spec,
-	evaluate func(siting) (*Solution, float64)) siting {
+	energyOf func(siting) float64) siting {
 
 	share := spec.TotalCapacityKW / float64(minDCs)
 	cheapest := make([]Candidate, 0, minDCs)
@@ -287,7 +332,7 @@ func buildInitialSiting(cat *location.Catalog, filtered []int, minDCs int, spec 
 	best := options[0]
 	bestEnergy := math.Inf(1)
 	for _, opt := range options {
-		if _, e := evaluate(opt); e < bestEnergy {
+		if e := energyOf(opt); e < bestEnergy {
 			bestEnergy = e
 			best = opt
 		}

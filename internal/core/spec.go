@@ -7,11 +7,16 @@
 //
 // Three solution paths are provided, mirroring Section II of the paper:
 //
-//   - Evaluate / EvaluateSiting: the fast evaluator that provisions a fixed
-//     siting (greedy follow-the-renewables load schedule, plant sizing by
-//     bisection, storage balance) — the inner loop of the heuristic solver.
+//   - Evaluator (and the one-shot Evaluate wrapper): the fast evaluator
+//     that provisions a fixed siting (greedy follow-the-renewables load
+//     schedule, plant sizing by bisection, storage balance) — the inner
+//     loop of the heuristic solver.  An Evaluator preallocates all scratch
+//     state for one (catalog, spec) pair; its EvaluateCost method is
+//     allocation-free in steady state.
 //   - Solve: the heuristic solver (location filtering + parallel simulated
-//     annealing over sitings and sizes, using the fast evaluator).
+//     annealing over sitings and sizes, using a pool of fast evaluators).
+//     Chains are independent and merged deterministically, so results are
+//     reproducible for a fixed seed regardless of parallelism.
 //   - SolveExact: the MILP formulation of Fig. 1 solved with branch and
 //     bound, tractable for small instances and used to validate the
 //     heuristic.

@@ -120,8 +120,24 @@ func (r *BalanceResult) GreenFraction() float64 {
 // Feasible reports whether every epoch's demand was fully met.
 func (r *BalanceResult) Feasible() bool { return r.UnmetKWh < 1e-6 }
 
-// Balance runs the chronological greedy storage simulation.
+// Balance runs the chronological greedy storage simulation.  Each call
+// allocates a fresh BalanceResult; hot loops that balance the same horizon
+// length many times should reuse a Balancer instead.
 func Balance(in BalanceInput) (*BalanceResult, error) {
+	return new(Balancer).Balance(in)
+}
+
+// Balancer runs Balance without allocating in steady state: the per-epoch
+// result series are owned by the Balancer and reused across calls (they are
+// only reallocated when the horizon length grows).  The returned
+// *BalanceResult aliases the Balancer's buffers and is invalidated by the
+// next Balance call.  A Balancer must not be used concurrently.
+type Balancer struct {
+	res BalanceResult
+}
+
+// Balance is the zero-allocation equivalent of the package-level Balance.
+func (bl *Balancer) Balance(in BalanceInput) (*BalanceResult, error) {
 	n := len(in.GreenKW)
 	if len(in.DemandKW) != n || len(in.Weights) != n {
 		return nil, ErrLengthMismatch
@@ -140,16 +156,17 @@ func Balance(in BalanceInput) (*BalanceResult, error) {
 		eff = 1
 	}
 
-	r := &BalanceResult{
-		BrownKW:         make([]float64, n),
-		GreenUsedKW:     make([]float64, n),
-		BattChargeKW:    make([]float64, n),
-		BattDischargeKW: make([]float64, n),
-		NetChargeKW:     make([]float64, n),
-		NetDischargeKW:  make([]float64, n),
-		BatteryLevelKWh: make([]float64, n),
-		NetLevelKWh:     make([]float64, n),
-		UnmetKW:         make([]float64, n),
+	r := &bl.res
+	*r = BalanceResult{
+		BrownKW:         zeroed(r.BrownKW, n),
+		GreenUsedKW:     zeroed(r.GreenUsedKW, n),
+		BattChargeKW:    zeroed(r.BattChargeKW, n),
+		BattDischargeKW: zeroed(r.BattDischargeKW, n),
+		NetChargeKW:     zeroed(r.NetChargeKW, n),
+		NetDischargeKW:  zeroed(r.NetDischargeKW, n),
+		BatteryLevelKWh: zeroed(r.BatteryLevelKWh, n),
+		NetLevelKWh:     zeroed(r.NetLevelKWh, n),
+		UnmetKW:         zeroed(r.UnmetKW, n),
 	}
 
 	battLevel := in.InitialBatteryKWh
@@ -305,4 +322,17 @@ func nonNegative(v float64) float64 {
 		return 0
 	}
 	return v
+}
+
+// zeroed returns s resized to n with every element zero, reusing the backing
+// array when it is large enough.
+func zeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }

@@ -14,8 +14,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"greencloud/internal/core"
@@ -28,6 +31,82 @@ import (
 	"greencloud/internal/vm"
 	"greencloud/internal/wan"
 )
+
+// parallelFor runs fn(i) for every i in [0, n) on a GOMAXPROCS-sized worker
+// pool.  Results stay deterministic because each index writes to its own
+// slot in whatever indexed structure fn fills; only the execution order is
+// concurrent.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evaluatorPool shares reusable single-site evaluators across the worker
+// pool: pricing a location is allocation-free once its worker's evaluator is
+// warm, instead of rebuilding the per-catalog evaluator caches per probe.
+// The datacenter capacity is fixed at construction, matching the spec the
+// evaluators were built with.
+type evaluatorPool struct {
+	pool       sync.Pool
+	capacityKW float64
+}
+
+func newEvaluatorPool(cat *location.Catalog, capacityKW float64, spec core.Spec) (*evaluatorPool, error) {
+	// Build the first evaluator eagerly so configuration errors surface
+	// here; the pool's New can then only fail on conditions already ruled
+	// out.
+	first, err := core.NewSingleSiteEvaluator(cat, capacityKW, spec)
+	if err != nil {
+		return nil, err
+	}
+	p := &evaluatorPool{capacityKW: capacityKW}
+	p.pool.New = func() any {
+		ev, err := core.NewSingleSiteEvaluator(cat, capacityKW, spec)
+		if err != nil {
+			panic(err)
+		}
+		return ev
+	}
+	p.pool.Put(first)
+	return p, nil
+}
+
+// price returns the monthly cost of one datacenter of the pool's capacity at
+// the site.
+func (p *evaluatorPool) price(siteID int) (float64, error) {
+	ev := p.pool.Get().(*core.Evaluator)
+	defer p.pool.Put(ev)
+	res, err := ev.EvaluateCost([]core.Candidate{{SiteID: siteID, CapacityKW: p.capacityKW}})
+	if err != nil {
+		return 0, err
+	}
+	return res.MonthlyUSD, nil
+}
 
 // Table is a formatted experiment result.
 type Table struct {
@@ -95,6 +174,9 @@ type Config struct {
 type Suite struct {
 	cfg     Config
 	catalog *location.Catalog
+	// mu guards the caches below; the sweep experiments fan their points
+	// across a worker pool and may be invoked concurrently themselves.
+	mu sync.Mutex
 	// filtered is the pre-filtered candidate list shared by the sweeps.
 	filtered []int
 	sweeps   map[energy.StorageMode]map[core.SourceMix][]sweepPoint
@@ -250,14 +332,26 @@ func (s *Suite) Table2() (*Table, error) {
 	if s.cfg.Budget == Full {
 		step = 1
 	}
-	bestBrown, bestCost := -1, 0.0
+	var ids []int
 	for id := 0; id < s.catalog.Len(); id += step {
-		sol, err := core.EvaluateSingleSite(s.catalog, id, 25_000, brownSpec)
-		if err != nil {
-			return nil, err
+		ids = append(ids, id)
+	}
+	pool, err := newEvaluatorPool(s.catalog, 25_000, brownSpec)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(ids))
+	errs := make([]error, len(ids))
+	parallelFor(len(ids), func(i int) {
+		costs[i], errs[i] = pool.price(ids[i])
+	})
+	bestBrown, bestCost := -1, 0.0
+	for i, id := range ids {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if bestBrown == -1 || sol.TotalMonthlyUSD < bestCost {
-			bestBrown, bestCost = id, sol.TotalMonthlyUSD
+		if bestBrown == -1 || costs[i] < bestCost {
+			bestBrown, bestCost = id, costs[i]
 		}
 	}
 
@@ -309,31 +403,46 @@ func (s *Suite) Fig6() (*Table, error) {
 	if s.cfg.Budget == Full {
 		step = 1
 	}
-	var brown, solar, wind []float64
+	var ids []int
 	for id := 0; id < s.catalog.Len(); id += step {
-		spec := s.baseSpec()
-		spec.MinGreenFraction = 0
-		b, err := core.EvaluateSingleSite(s.catalog, id, 25_000, spec)
+		ids = append(ids, id)
+	}
+	brownSpec := s.baseSpec()
+	brownSpec.MinGreenFraction = 0
+	solarSpec := s.baseSpec()
+	solarSpec.Sources = core.SolarOnly
+	windSpec := s.baseSpec()
+	windSpec.Sources = core.WindOnly
+	brownPool, err := newEvaluatorPool(s.catalog, 25_000, brownSpec)
+	if err != nil {
+		return nil, err
+	}
+	solarPool, err := newEvaluatorPool(s.catalog, 25_000, solarSpec)
+	if err != nil {
+		return nil, err
+	}
+	windPool, err := newEvaluatorPool(s.catalog, 25_000, windSpec)
+	if err != nil {
+		return nil, err
+	}
+	brown := make([]float64, len(ids))
+	solar := make([]float64, len(ids))
+	wind := make([]float64, len(ids))
+	errs := make([]error, len(ids))
+	parallelFor(len(ids), func(i int) {
+		id := ids[i]
+		if brown[i], errs[i] = brownPool.price(id); errs[i] != nil {
+			return
+		}
+		if solar[i], errs[i] = solarPool.price(id); errs[i] != nil {
+			return
+		}
+		wind[i], errs[i] = windPool.price(id)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		brown = append(brown, b.TotalMonthlyUSD)
-
-		spec = s.baseSpec()
-		spec.Sources = core.SolarOnly
-		sSol, err := core.EvaluateSingleSite(s.catalog, id, 25_000, spec)
-		if err != nil {
-			return nil, err
-		}
-		solar = append(solar, sSol.TotalMonthlyUSD)
-
-		spec = s.baseSpec()
-		spec.Sources = core.WindOnly
-		w, err := core.EvaluateSingleSite(s.catalog, id, 25_000, spec)
-		if err != nil {
-			return nil, err
-		}
-		wind = append(wind, w.TotalMonthlyUSD)
 	}
 	bSorted, pct := timeseries.CDF(brown)
 	sSorted, _ := timeseries.CDF(solar)
@@ -356,58 +465,116 @@ func (s *Suite) Fig6() (*Table, error) {
 // base case) and reuses the surviving locations for every sweep, exactly as
 // the paper's heuristic does.
 func (s *Suite) candidateList() ([]int, error) {
+	s.mu.Lock()
 	if s.filtered != nil {
+		defer s.mu.Unlock()
 		return s.filtered, nil
 	}
+	s.mu.Unlock()
 	keep := s.cfg.solveOptions().FilterKeep
 	filtered, err := core.FilterSites(s.catalog, s.baseSpec(), keep)
 	if err != nil {
 		return nil, err
 	}
-	s.filtered = filtered
-	return filtered, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.filtered == nil {
+		s.filtered = filtered
+	}
+	return s.filtered, nil
 }
 
 // solveSweep runs (and caches) the cost-vs-green-fraction sweep for one
 // storage mode and source mix.
 func (s *Suite) solveSweep(storage energy.StorageMode, sources core.SourceMix) ([]sweepPoint, error) {
+	series, err := s.solveSweeps(storage, []core.SourceMix{sources})
+	if err != nil {
+		return nil, err
+	}
+	return series[0], nil
+}
+
+// solveSweeps computes (and caches) the sweep for several source mixes at
+// once.  All uncached (mix, green-level) points form one flat task list for
+// a single worker pool, so the GOMAXPROCS cap holds even when a figure
+// requests every mix together (no nested parallelFor layers).  Each task
+// writes only its own indexed slot, so the resulting series are
+// deterministic regardless of which worker finishes first.
+func (s *Suite) solveSweeps(storage energy.StorageMode, mixes []core.SourceMix) ([][]sweepPoint, error) {
+	out := make([][]sweepPoint, len(mixes))
+	s.mu.Lock()
+	missing := 0
 	if byMix, ok := s.sweeps[storage]; ok {
-		if pts, ok := byMix[sources]; ok {
-			return pts, nil
+		for i, mix := range mixes {
+			out[i] = byMix[mix]
 		}
 	}
+	for _, pts := range out {
+		if pts == nil {
+			missing++
+		}
+	}
+	s.mu.Unlock()
+	if missing == 0 {
+		return out, nil
+	}
+
 	filtered, err := s.candidateList()
 	if err != nil {
 		return nil, err
 	}
 	opts := s.cfg.solveOptions()
 	opts.Candidates = filtered
-	var pts []sweepPoint
-	for _, green := range s.cfg.greenLevels() {
+	// The worker pool is the parallelism; chains inside each fanned-out
+	// Solve would oversubscribe the cap, and sequential chains return a
+	// bit-identical solution anyway.
+	opts.Sequential = true
+	levels := s.cfg.greenLevels()
+
+	type task struct{ mix, level int }
+	var tasks []task
+	for i := range mixes {
+		if out[i] != nil {
+			continue
+		}
+		out[i] = make([]sweepPoint, len(levels))
+		for l := range levels {
+			tasks = append(tasks, task{mix: i, level: l})
+		}
+	}
+	parallelFor(len(tasks), func(k int) {
+		t := tasks[k]
+		green := levels[t.level]
 		spec := s.baseSpec()
 		spec.MinGreenFraction = green
 		spec.Storage = storage
-		spec.Sources = sources
+		spec.Sources = mixes[t.mix]
 		sol, err := core.Solve(s.catalog, spec, opts)
 		if err != nil {
 			// Some extreme points (100 % green, no storage, single source)
 			// can be genuinely unreachable on the Quick catalog; record the
 			// point as missing rather than aborting the whole figure.
-			pts = append(pts, sweepPoint{greenPct: green * 100, monthlyUSD: -1, capacityKW: -1})
-			continue
+			out[t.mix][t.level] = sweepPoint{greenPct: green * 100, monthlyUSD: -1, capacityKW: -1}
+			return
 		}
-		pts = append(pts, sweepPoint{
+		out[t.mix][t.level] = sweepPoint{
 			greenPct:   green * 100,
 			monthlyUSD: sol.TotalMonthlyUSD,
 			capacityKW: sol.ProvisionedCapacityKW,
 			solution:   sol,
-		})
-	}
+		}
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.sweeps[storage]; !ok {
 		s.sweeps[storage] = make(map[core.SourceMix][]sweepPoint)
 	}
-	s.sweeps[storage][sources] = pts
-	return pts, nil
+	for i, mix := range mixes {
+		if _, ok := s.sweeps[storage][mix]; !ok {
+			s.sweeps[storage][mix] = out[i]
+		}
+	}
+	return out, nil
 }
 
 func (s *Suite) sweepTable(id, title, unit string, storage energy.StorageMode,
@@ -419,13 +586,9 @@ func (s *Suite) sweepTable(id, title, unit string, storage energy.StorageMode,
 		Columns: []string{"green(%)", "wind " + unit, "solar " + unit, "wind+solar " + unit},
 	}
 	mixes := []core.SourceMix{core.WindOnly, core.SolarOnly, core.SolarAndWind}
-	series := make([][]sweepPoint, len(mixes))
-	for i, mix := range mixes {
-		pts, err := s.solveSweep(storage, mix)
-		if err != nil {
-			return nil, err
-		}
-		series[i] = pts
+	series, err := s.solveSweeps(storage, mixes)
+	if err != nil {
+		return nil, err
 	}
 	for row := range series[0] {
 		cells := []string{f1(series[0][row].greenPct)}
@@ -540,24 +703,27 @@ func (s *Suite) Fig13() (*Table, error) {
 
 	// Solve once per mix at the conservative migration setting, then
 	// re-evaluate the same siting at cheaper migration settings (the paper
-	// varies only the migration energy, not the siting).
+	// varies only the migration energy, not the siting).  The three solves
+	// are independent, so they fan out across the worker pool (with
+	// sequential chains inside — see solveSweeps).
+	opts.Sequential = true
 	sitings := make([][]core.Candidate, len(mixes))
-	for i, mix := range mixes {
+	parallelFor(len(mixes), func(i int) {
 		spec := s.baseSpec()
 		spec.MinGreenFraction = 1
 		spec.Storage = energy.NoStorage
-		spec.Sources = mix
+		spec.Sources = mixes[i]
 		sol, err := core.Solve(s.catalog, spec, opts)
 		if err != nil {
 			sitings[i] = nil
-			continue
+			return
 		}
 		var cands []core.Candidate
 		for _, site := range sol.Sites {
 			cands = append(cands, core.Candidate{SiteID: site.Site.ID, CapacityKW: site.Provision.CapacityKW})
 		}
 		sitings[i] = cands
-	}
+	})
 	for _, frac := range fractions {
 		row := []string{f1(frac * 100)}
 		for i, mix := range mixes {

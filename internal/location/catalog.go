@@ -89,6 +89,8 @@ type Catalog struct {
 	grid  *timeseries.Grid
 	sites []*Site
 	byID  map[int]*Site
+	// profiles caches the dense per-epoch matrices (see Profiles).
+	profiles profilesOnce
 }
 
 func newCatalog(grid *timeseries.Grid, sites []*Site) *Catalog {

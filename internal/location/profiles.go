@@ -1,0 +1,76 @@
+package location
+
+import "sync"
+
+// Profiles is a dense, read-only view of the catalog's per-epoch site
+// profiles: the α (solar), β (wind) and PUE series of every site stored in
+// one contiguous site-major matrix each.  The flat layout keeps the
+// evaluator's inner loops cache-friendly (no per-site pointer chasing) and
+// is SIMD-friendly should the hot loops ever be vectorized.
+//
+// Profiles is built once per catalog (lazily, on first use) and shared by
+// all readers; it must not be mutated.
+type Profiles struct {
+	epochs int
+	rows   map[int]int // site ID → row index
+	alpha  []float64   // len = sites × epochs, row-major
+	beta   []float64
+	pue    []float64
+}
+
+// Epochs returns the number of epochs per site row.
+func (p *Profiles) Epochs() int { return p.epochs }
+
+// Row returns the matrix row for the given site ID.
+func (p *Profiles) Row(siteID int) (int, bool) {
+	r, ok := p.rows[siteID]
+	return r, ok
+}
+
+// Alpha returns the solar production-factor series of the given row.  The
+// returned slice aliases the shared matrix; callers must not modify it.
+func (p *Profiles) Alpha(row int) []float64 {
+	return p.alpha[row*p.epochs : (row+1)*p.epochs]
+}
+
+// Beta returns the wind production-factor series of the given row.
+func (p *Profiles) Beta(row int) []float64 {
+	return p.beta[row*p.epochs : (row+1)*p.epochs]
+}
+
+// PUE returns the PUE series of the given row.
+func (p *Profiles) PUE(row int) []float64 {
+	return p.pue[row*p.epochs : (row+1)*p.epochs]
+}
+
+// profilesOnce is attached to the catalog for lazy one-time construction.
+type profilesOnce struct {
+	once sync.Once
+	p    *Profiles
+}
+
+// Profiles returns the catalog's dense profile matrices, building them on
+// first use.  Subsequent calls return the same shared instance, so the cost
+// of densifying the catalog is paid once no matter how many evaluators are
+// created on top of it.
+func (c *Catalog) Profiles() *Profiles {
+	c.profiles.once.Do(func() {
+		epochs := c.grid.Len()
+		n := len(c.sites)
+		p := &Profiles{
+			epochs: epochs,
+			rows:   make(map[int]int, n),
+			alpha:  make([]float64, n*epochs),
+			beta:   make([]float64, n*epochs),
+			pue:    make([]float64, n*epochs),
+		}
+		for row, s := range c.sites {
+			p.rows[s.ID] = row
+			copy(p.alpha[row*epochs:], s.Alpha)
+			copy(p.beta[row*epochs:], s.Beta)
+			copy(p.pue[row*epochs:], s.PUE)
+		}
+		c.profiles.p = p
+	})
+	return c.profiles.p
+}

@@ -462,7 +462,7 @@ func (s *standard) simplex() (Status, []float64, float64) {
 				phase1Cost[s.artificial[i]] = 1
 			}
 		}
-		status, obj := runSimplex(tab, rhs, basis, phase1Cost, nil)
+		status, obj := runSimplex(tab, rhs, basis, phase1Cost, totalCols)
 		if status != Optimal {
 			return Infeasible, nil, 0
 		}
@@ -477,7 +477,7 @@ func (s *standard) simplex() (Status, []float64, float64) {
 			pivoted := false
 			for j := 0; j < s.nTotal; j++ {
 				if math.Abs(tab[i][j]) > pivotEpsilon {
-					pivot(tab, rhs, basis, i, j)
+					pivot(tab, rhs, basis, i, j, totalCols)
 					pivoted = true
 					break
 				}
@@ -489,12 +489,11 @@ func (s *standard) simplex() (Status, []float64, float64) {
 		}
 	}
 
-	// Phase 2: original objective, artificial columns forbidden.
-	forbidden := make([]bool, totalCols)
-	for j := s.nTotal; j < totalCols; j++ {
-		forbidden[j] = true
-	}
-	status, obj := runSimplex(tab, rhs, basis, s.c, forbidden)
+	// Phase 2: original objective.  Artificial columns can never enter and
+	// are never read again, so pricing and pivoting stop at nTotal — their
+	// tableau entries go stale, which is ~30% less work per iteration on
+	// constraint-heavy problems like the scheduler's partition LP.
+	status, obj := runSimplex(tab, rhs, basis, s.c, s.nTotal)
 	if status != Optimal {
 		return status, nil, 0
 	}
@@ -511,17 +510,17 @@ func (s *standard) simplex() (Status, []float64, float64) {
 func isArtificialCol(s *standard, col int) bool { return col >= s.nTotal }
 
 // runSimplex performs primal simplex iterations on the tableau in place with
-// the given objective, returning the status and the objective value.
-func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, forbidden []bool) (Status, float64) {
+// the given objective, returning the status and the objective value.  Only
+// the first nPrice columns are priced, eligible to enter, and updated by
+// pivots; columns beyond nPrice (phase 2's artificial block) go stale and
+// must not be read by the caller afterwards.
+func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPrice int) (Status, float64) {
 	m := len(tab)
 	if m == 0 {
 		// No rows: every standard-form variable is only bounded below by
 		// zero, so any negative cost direction is unbounded.
-		for j, cj := range cost {
-			if forbidden != nil && forbidden[j] {
-				continue
-			}
-			if cj < -epsilon {
+		for j := 0; j < nPrice && j < len(cost); j++ {
+			if cost[j] < -epsilon {
 				return Unbounded, 0
 			}
 		}
@@ -537,33 +536,49 @@ func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, for
 	// stalling.
 	blandAfter := 4 * (m + n)
 
-	reduced := make([]float64, n)
+	reduced := make([]float64, nPrice)
 	y := make([]float64, m)
+	// basic[j] marks columns currently in the basis, maintained across
+	// pivots so entering-column selection does not rescan the basis per
+	// column (an O(m·n) cost per iteration on large tableaus).  Sized to
+	// the full width because phase-2 bases can still hold artificial
+	// columns pinned at zero by degenerate rows.
+	basic := make([]bool, n)
+	for _, b := range basis {
+		basic[b] = true
+	}
 
 	for iter := 0; iter < maxIter; iter++ {
 		// Compute the simplex multipliers implicitly: because the tableau is
 		// kept in canonical form (basis columns are unit vectors), the
 		// reduced cost of column j is cost[j] − Σ_i cost[basis[i]]·tab[i][j].
+		// Accumulating row-by-row keeps the memory access sequential (the
+		// tableau is row-major); the result is bit-identical to the per-
+		// column loop because the rows are visited in the same order.
 		for i := 0; i < m; i++ {
 			y[i] = cost[basis[i]]
+		}
+		copy(reduced, cost[:nPrice])
+		for i := 0; i < m; i++ {
+			yi := y[i]
+			if yi == 0 {
+				continue
+			}
+			row := tab[i][:nPrice]
+			for j, a := range row {
+				if a != 0 {
+					reduced[j] -= yi * a
+				}
+			}
 		}
 		entering := -1
 		best := -epsilon
 		useBland := iter > blandAfter
-		for j := 0; j < n; j++ {
-			if forbidden != nil && forbidden[j] {
+		for j := 0; j < nPrice; j++ {
+			if basic[j] {
 				continue
 			}
-			if isBasic(basis, j) {
-				continue
-			}
-			r := cost[j]
-			for i := 0; i < m; i++ {
-				if y[i] != 0 && tab[i][j] != 0 {
-					r -= y[i] * tab[i][j]
-				}
-			}
-			reduced[j] = r
+			r := reduced[j]
 			if useBland {
 				if r < -epsilon {
 					entering = j
@@ -599,33 +614,27 @@ func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, for
 		if leaving == -1 {
 			return Unbounded, 0
 		}
-		pivot(tab, rhs, basis, leaving, entering)
+		basic[basis[leaving]] = false
+		basic[entering] = true
+		pivot(tab, rhs, basis, leaving, entering, nPrice)
 	}
 	// Iteration limit: report unbounded-like numeric trouble as infeasible
 	// conservatively; callers treat any non-optimal status as failure.
 	return Infeasible, 0
 }
 
-func isBasic(basis []int, col int) bool {
-	for _, b := range basis {
-		if b == col {
-			return true
-		}
-	}
-	return false
-}
-
-// pivot performs a Gauss-Jordan pivot on (row, col).
-func pivot(tab [][]float64, rhs []float64, basis []int, row, col int) {
+// pivot performs a Gauss-Jordan pivot on (row, col), updating only the
+// first width columns.
+func pivot(tab [][]float64, rhs []float64, basis []int, row, col, width int) {
 	m := len(tab)
-	n := len(tab[0])
 	pv := tab[row][col]
 	inv := 1 / pv
-	for j := 0; j < n; j++ {
-		tab[row][j] *= inv
+	rowR := tab[row][:width]
+	for j := range rowR {
+		rowR[j] *= inv
 	}
 	rhs[row] *= inv
-	tab[row][col] = 1 // avoid drift
+	rowR[col] = 1 // avoid drift
 	for i := 0; i < m; i++ {
 		if i == row {
 			continue
@@ -634,10 +643,13 @@ func pivot(tab [][]float64, rhs []float64, basis []int, row, col int) {
 		if factor == 0 {
 			continue
 		}
-		rowI := tab[i]
-		rowR := tab[row]
-		for j := 0; j < n; j++ {
-			rowI[j] -= factor * rowR[j]
+		rowI := tab[i][:width]
+		// Skipping zero pivot-row entries is bit-identical (x −= f·0 is a
+		// no-op) and the slack/artificial block keeps the row sparse.
+		for j, v := range rowR {
+			if v != 0 {
+				rowI[j] -= factor * v
+			}
 		}
 		rowI[col] = 0
 		rhs[i] -= factor * rhs[row]

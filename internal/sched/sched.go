@@ -144,7 +144,11 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 		migOut[d] = make([]lp.Var, horizon)
 		brown[d] = make([]lp.Var, horizon)
 		for h := 0; h < horizon; h++ {
-			if load[d][h], err = prob.AddVariable("load", 0, dc.CapacityKW, 0); err != nil {
+			// No explicit upper bound: the capacity constraint below
+			// (load + migOut ≤ capacity with migOut ≥ 0) already bounds the
+			// load, and a redundant variable bound would add one tableau row
+			// plus one slack column per datacenter-hour to the LP.
+			if load[d][h], err = prob.AddVariable("load", 0, lp.Infinity, 0); err != nil {
 				return nil, err
 			}
 			// A tiny cost on migration power discourages gratuitous churn
