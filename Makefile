@@ -21,6 +21,8 @@ test:
 bench-smoke:
 	$(GO) test -bench=BenchmarkEvaluateSteadyState -benchtime=1x -run '^$$' .
 
-# Full benchmark sweep (regenerates every paper figure; slow).
+# Full benchmark sweep (regenerates every paper figure; slow).  The output
+# is snapshotted into BENCH_<date>.json so the performance trajectory is
+# tracked per PR; commit the snapshot alongside perf-relevant changes.
 bench:
-	$(GO) test -bench=. -run '^$$' .
+	$(GO) test -bench=. -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json

@@ -75,6 +75,42 @@ func BenchmarkEvaluateSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateDeltaMove measures the annealing inner loop as a chain
+// actually drives it: alternating single-site moves against a warm
+// evaluator, so each evaluation re-runs only the dirty site's pipeline plus
+// the shared schedule merge.  Must stay at 0 allocs/op.
+func BenchmarkEvaluateDeltaMove(b *testing.B) {
+	cat, err := location.Generate(location.Options{Count: 60, Seed: 1, RepresentativeDays: 2})
+	if err != nil {
+		b.Fatalf("generate catalog: %v", err)
+	}
+	spec := core.DefaultSpec()
+	spec.TotalCapacityKW = 10_000
+	ev, err := core.NewEvaluator(cat, spec)
+	if err != nil {
+		b.Fatalf("build evaluator: %v", err)
+	}
+	base := []core.Candidate{{SiteID: 2, CapacityKW: 5_000}, {SiteID: 5, CapacityKW: 5_000}, {SiteID: 9, CapacityKW: 5_000}}
+	grown := []core.Candidate{{SiteID: 2, CapacityKW: 6_250}, {SiteID: 5, CapacityKW: 5_000}, {SiteID: 9, CapacityKW: 5_000}}
+	growMv := core.Move{Kind: core.MoveGrow, Site: 2, OldCap: 5_000, NewCap: 6_250}
+	shrinkMv := core.Move{Kind: core.MoveShrink, Site: 2, OldCap: 6_250, NewCap: 5_000}
+	for _, cands := range [][]core.Candidate{base, grown} {
+		if _, err := ev.EvaluateCost(cands); err != nil {
+			b.Fatalf("warm-up evaluation: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateCostMove(grown, growMv); err != nil {
+			b.Fatalf("evaluate: %v", err)
+		}
+		if _, err := ev.EvaluateCostMove(base, shrinkMv); err != nil {
+			b.Fatalf("evaluate: %v", err)
+		}
+	}
+}
+
 // BenchmarkSolveSmallNetwork measures a full heuristic solve (filtering
 // skipped, parallel annealing chains over the cached evaluator pool).
 func BenchmarkSolveSmallNetwork(b *testing.B) {

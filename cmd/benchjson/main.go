@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// snapshot, echoing the raw output through so it remains visible.  The
+// Makefile's bench target pipes the full benchmark suite into it to produce
+// the per-PR BENCH_<date>.json performance-trajectory snapshots.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	N           int64    `json:"n"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the whole file.
+type Snapshot struct {
+	Date       string            `json:"date"`
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "path of the JSON snapshot to write (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	snap := Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		Benchmarks: map[string]Result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "--- FAIL"), strings.HasPrefix(line, "FAIL"):
+			failed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseBenchLine(line)
+			if ok {
+				snap.Benchmarks[name] = res
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen; snapshot not written")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses a line like
+//
+//	BenchmarkSolveSmallNetwork-8   10   1978998 ns/op   135934 B/op   574 allocs/op
+//
+// returning the name with the Benchmark prefix and -cpus suffix stripped.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{N: n}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		val := v
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			seen = true
+		case "B/op":
+			res.BytesPerOp = &val
+		case "allocs/op":
+			res.AllocsPerOp = &val
+		}
+	}
+	return name, res, seen
+}

@@ -18,31 +18,64 @@
 // simulated annealing, the within-datacenter VM manager and the emulated
 // wide-area network — is implemented from scratch under internal/.
 //
-// # The evaluator hot path
+// # The evaluator hot path: delta evaluation
 //
 // The heuristic solver evaluates Chains × MaxIterations candidate sitings
 // per solve, and every sweep experiment solves once per green-fraction
 // point per storage mode per source mix, so the siting evaluator is the
 // system's hot path.  It is built around internal/core's Evaluator: a
 // reusable object bound to one (catalog, spec) pair that owns every scratch
-// buffer the pipeline needs — flattened compute/migration/demand/green
-// matrices, sort index buffers, the storage-balance series — plus
-// per-catalog caches of the brown-cost rank key, the unit green production
-// costs and the solar/wind technology split of every site.
+// buffer the pipeline needs, plus per-catalog caches of the brown-cost rank
+// key, the unit green production costs, the solar/wind technology split and
+// the weighted PUE sum of every site.
 //
-// Reuse contract: scratch grows to the largest candidate set seen and is
-// then reused, so a steady-state EvaluateCost call performs zero heap
-// allocations (BenchmarkEvaluateSteadyState and the core tests enforce
-// exactly 0 allocs/op); the full Evaluate method allocates only the
-// returned Solution.  An Evaluator is not safe for concurrent use — the
-// parallel annealing chains draw evaluators from a sync.Pool, and the
-// sweep experiments fan points across a GOMAXPROCS-sized worker pool with
-// one solver (and thus one pool) per point.  Annealing chains are fully
-// independent with deterministic per-chain RNG seeds and a deterministic
-// best-of merge, so a fixed seed yields a bit-identical Solution whether
-// the chains run sequentially or in parallel.
+// The evaluation pipeline is split so that most of its work is memoizable
+// across the single-site moves an annealing chain makes:
+//
+//   - The shared schedule merge assigns the network load per epoch (load
+//     follows the renewables first, then the cheapest brown power), driven
+//     by per-site reference plants that depend only on each site's own
+//     static profile and capacity.  It is cheap and always re-runs.
+//   - The per-site stage — migration overhead, facility demand, plant
+//     sizing by per-site bisection, battery sizing, storage balance and the
+//     monthly cost model — is a pure function of (site, capacity, schedule
+//     row, spec) and dominates the cost.  Its outputs are cached per site.
+//   - A network-level top-up stage handles sitings whose green target is
+//     unreachable from individual sites alone by bisecting a common plant
+//     scale factor; it runs only in that case, on top of the cached
+//     per-site sizings.
+//
+// Invalidation protocol: annealing moves carry structured metadata
+// (core.Move{Kind, Site, OldCap, NewCap}) from the neighbourhood function
+// through internal/anneal's move-aware hooks into the evaluator.  The moved
+// site is always re-run; every other site is revalidated by content — its
+// cached result is reused iff its capacity and schedule row are bitwise
+// identical to the cached key.  Content validation makes the cache
+// self-correcting: a missing or wrong hint costs a recomputation, never
+// correctness, and a delta evaluation is bit-identical to evaluating the
+// same candidates from scratch (TestDeltaEvaluationMatchesFull pins this
+// over randomized move sequences).
+//
+// Reuse contract: scratch grows to the largest candidate set seen, cache
+// entries are allocated once per distinct site, and a steady-state
+// EvaluateCost/EvaluateCostMove call performs zero heap allocations
+// (BenchmarkEvaluateSteadyState and the core tests enforce exactly
+// 0 allocs/op); the full Evaluate method allocates only the returned
+// Solution.  An Evaluator is not safe for concurrent use — each annealing
+// chain owns one (anneal.Config.NewContext), which also keeps the per-site
+// cache warm along the chain's trajectory.  Chains are fully independent
+// with deterministic per-chain RNG seeds and a deterministic best-of merge,
+// so a fixed seed yields a bit-identical Solution whether the chains run
+// sequentially or in parallel.
+//
+// Location filtering shards the catalog across a GOMAXPROCS worker pool
+// (per-worker evaluators, slot-indexed scores, deterministic merge), and
+// sweep experiments warm-start each green-fraction point's search with the
+// previous point's siting (experiments.Config.DisableWarmStart turns that
+// off).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper's evaluation; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured-versus-paper results.
+// paper's evaluation; `make bench` snapshots them into a BENCH_<date>.json
+// so the performance trajectory is tracked per PR.  See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured-versus-paper results.
 package greencloud

@@ -34,6 +34,21 @@ type Config[S any] struct {
 	// Neighbor proposes a modified copy of the state using the chain's RNG.
 	Neighbor func(S, *rand.Rand) S
 
+	// The move-aware hooks below are an alternative to Energy/Neighbor for
+	// delta-evaluating searches: NeighborMove additionally returns metadata
+	// describing the move it applied, and EnergyMove receives that metadata
+	// together with a chain-local context (typically a reusable incremental
+	// evaluator) created once per chain by NewContext.  All three must be set
+	// together; when they are, Energy and Neighbor are ignored.  EnergyMove
+	// must be a pure function of the state — the context and metadata may
+	// only accelerate it, never change its value — so results remain
+	// bit-identical regardless of parallelism or cache state.
+	NewContext   func(chain int) any
+	NeighborMove func(S, *rand.Rand) (S, any)
+	// EnergyMove evaluates a state using the chain's context; move is the
+	// metadata from NeighborMove, or nil when evaluating the initial state.
+	EnergyMove func(ctx any, s S, move any) float64
+
 	// InitialTemp is the starting temperature.  Zero selects a default
 	// derived from the initial energy.
 	InitialTemp float64
@@ -106,12 +121,22 @@ type chainResult[S any] struct {
 // Run executes the annealing search and returns the best state found.
 func Run[S any](cfg Config[S]) (Result[S], error) {
 	var zero Result[S]
-	if cfg.Energy == nil || cfg.Neighbor == nil {
+	moveAware := cfg.EnergyMove != nil || cfg.NeighborMove != nil || cfg.NewContext != nil
+	if moveAware {
+		if cfg.EnergyMove == nil || cfg.NeighborMove == nil || cfg.NewContext == nil {
+			return zero, ErrBadConfig
+		}
+	} else if cfg.Energy == nil || cfg.Neighbor == nil {
 		return zero, ErrBadConfig
 	}
 	cfg = cfg.withDefaults()
 
-	initialEnergy := cfg.Energy(cfg.Initial)
+	var initialEnergy float64
+	if moveAware {
+		initialEnergy = cfg.EnergyMove(cfg.NewContext(-1), cfg.Initial, nil)
+	} else {
+		initialEnergy = cfg.Energy(cfg.Initial)
+	}
 
 	initialTemp := cfg.InitialTemp
 	if initialTemp <= 0 {
@@ -124,6 +149,15 @@ func Run[S any](cfg Config[S]) (Result[S], error) {
 
 	runChain := func(chainID int) chainResult[S] {
 		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(chainID)*15485863 + 1))
+		// Each chain owns its context: consecutive evaluations on one chain
+		// share one incremental evaluator, which is what makes delta
+		// evaluation effective (the chain's trajectory keeps the per-site
+		// cache warm).  EnergyMove is a pure function of the state, so chains
+		// stay independent and the merged result deterministic.
+		var ctx any
+		if moveAware {
+			ctx = cfg.NewContext(chainID)
+		}
 		current := cfg.Initial
 		currentEnergy := initialEnergy
 		best := cfg.Initial
@@ -132,11 +166,29 @@ func Run[S any](cfg Config[S]) (Result[S], error) {
 		stale := 0
 		iters := 0
 		evals := 0
+		if moveAware {
+			// Seed the chain's context with the initial state so the first
+			// neighbour evaluation is already a delta.
+			if got := cfg.EnergyMove(ctx, current, nil); got != currentEnergy {
+				// EnergyMove violated purity; trust the fresh value so the
+				// chain is at least self-consistent.
+				currentEnergy, bestEnergy = got, got
+			}
+			evals++
+		}
 
 		for iters < cfg.MaxIterations && stale < cfg.MaxStale && temp > minTemp {
 			iters++
-			candidate := cfg.Neighbor(current, rng)
-			candEnergy := cfg.Energy(candidate)
+			var candidate S
+			var candEnergy float64
+			if moveAware {
+				var move any
+				candidate, move = cfg.NeighborMove(current, rng)
+				candEnergy = cfg.EnergyMove(ctx, candidate, move)
+			} else {
+				candidate = cfg.Neighbor(current, rng)
+				candEnergy = cfg.Energy(candidate)
+			}
 			evals++
 
 			accept := false

@@ -196,6 +196,77 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestMoveAwareHooksRequireAllThree(t *testing.T) {
+	energy := func(ctx any, x float64, mv any) float64 { return x * x }
+	neighbor := func(x float64, rng *rand.Rand) (float64, any) { return x - 1, "left" }
+	newCtx := func(chain int) any { return nil }
+	cases := []Config[float64]{
+		{EnergyMove: energy},
+		{EnergyMove: energy, NeighborMove: neighbor},
+		{NeighborMove: neighbor, NewContext: newCtx},
+		{NewContext: newCtx},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: want ErrBadConfig for partial move hooks, got %v", i, err)
+		}
+	}
+}
+
+func TestMoveAwareParallelMatchesSequential(t *testing.T) {
+	// The move-aware path (per-chain contexts, move metadata) must keep the
+	// determinism contract: parallel and sequential runs are bit-identical,
+	// the context is delivered to every EnergyMove call, and the move
+	// metadata matches what NeighborMove produced.
+	type ctxState struct {
+		chain int
+		calls int
+	}
+	run := func(sequential bool) Result[float64] {
+		cfg := Config[float64]{
+			Initial: 40,
+			NewContext: func(chain int) any {
+				return &ctxState{chain: chain}
+			},
+			NeighborMove: func(x float64, rng *rand.Rand) (float64, any) {
+				step := rng.NormFloat64() * 3
+				return x + step, step
+			},
+			EnergyMove: func(ctx any, x float64, mv any) float64 {
+				st, ok := ctx.(*ctxState)
+				if !ok {
+					t.Fatal("EnergyMove did not receive its chain context")
+				}
+				st.calls++
+				if mv != nil {
+					if _, ok := mv.(float64); !ok {
+						t.Fatalf("EnergyMove received unexpected move metadata %T", mv)
+					}
+				}
+				return 0.1*x*x + 5*math.Abs(math.Sin(x))
+			},
+			MaxIterations: 600,
+			Seed:          13,
+			Chains:        4,
+			Sequential:    sequential,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	parallel := run(false)
+	sequential := run(true)
+	if parallel.Best != sequential.Best || parallel.BestEnergy != sequential.BestEnergy ||
+		parallel.Iterations != sequential.Iterations || parallel.Evaluations != sequential.Evaluations {
+		t.Errorf("move-aware parallel %+v and sequential %+v runs differ", parallel, sequential)
+	}
+	if parallel.BestEnergy > 5 {
+		t.Errorf("move-aware search did not optimize: best energy %v", parallel.BestEnergy)
+	}
+}
+
 func TestStaleStopBoundsEvaluations(t *testing.T) {
 	// An energy function that never improves: the chain must stop after
 	// MaxStale iterations, not run to MaxIterations.

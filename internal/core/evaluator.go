@@ -26,13 +26,34 @@ type CostSummary struct {
 // state for one (catalog, spec) pair so that repeated evaluations of
 // candidate sitings perform no heap allocations in steady state.
 //
+// The evaluation pipeline is split into a cheap shared schedule merge and an
+// expensive per-site stage, and the per-site stage is memoized:
+//
+//   - The schedule merge assigns the network load across the candidate sites
+//     per epoch (follow-the-renewables first, cheapest brown power second),
+//     driven by per-site reference plants that depend only on each site's own
+//     static profile and capacity.  It always runs: any move can shift load
+//     between sites.
+//   - The per-site stage (migration overhead, facility demand, plant sizing
+//     by per-site bisection, battery sizing, energy balance, monthly cost) is
+//     a pure function of (site, capacity, schedule row, spec).  Its outputs
+//     are cached per site; a site is re-run only when it is dirty.
+//
+// Invalidation protocol: a site whose capacity the Move metadata says
+// changed is dirty by definition and re-runs without further checks; every
+// other site is validated by content — its cache entry is reused iff the
+// entry's capacity and schedule row are bitwise identical to the current
+// ones.  Content validation makes the cache self-correcting: a wrong or
+// missing Move hint can waste a recomputation but can never change a result,
+// so a delta evaluation is bit-identical to evaluating from scratch.
+//
 // Reuse contract: an Evaluator is bound to the catalog and spec it was
 // created with; scratch buffers grow to the largest candidate set seen and
-// are then reused, so a steady-state EvaluateCost call (same or smaller
-// candidate count, same epoch grid) is allocation-free.  The full Evaluate
-// method allocates only the returned *Solution and its per-site series.
-// An Evaluator is NOT safe for concurrent use — create one per goroutine
-// (the parallel annealing chains in Solve share a sync.Pool of them).
+// cache entries are allocated once per distinct site, so a steady-state
+// EvaluateCost / EvaluateCostMove call is allocation-free.  The full
+// Evaluate method allocates only the returned *Solution and its per-site
+// series.  An Evaluator is NOT safe for concurrent use — create one per
+// goroutine (the annealing chains in Solve each own one).
 type Evaluator struct {
 	cat    *location.Catalog
 	spec   Spec
@@ -48,6 +69,7 @@ type Evaluator struct {
 	ucWind   []float64 // unit green cost of wind
 	solarTW  []float64 // tech-weight split between solar and wind
 	windTW   []float64
+	pueKWh   []float64 // Σ_t PUE[t]·w[t]: yearly facility kWh of 1 kW IT load
 
 	// Per-call candidate state.
 	n          int
@@ -62,31 +84,58 @@ type Evaluator struct {
 	compute   []float64
 	migration []float64
 	demand    []float64
-	green     []float64
 
 	// Per-call scratch, length n.
-	brownRank  []int
-	availIdx   []int
-	availVal   []float64
-	solarKW    []float64
-	windKW     []float64
-	baseSolar  []float64
-	baseWind   []float64
-	batteryKWh []float64
-	demandKWh  []float64
-	order      []int
-	blended    []float64
+	brownRank []int
+	availIdx  []int
+	availVal  []float64
+	refSolar  []float64
+	refWind   []float64
+	solarKW   []float64
+	windKW    []float64
+	outs      []siteOutputs
 
 	// scratchSeries holds one epoch-length series for plant-sizing trials.
 	scratchSeries []float64
 
+	// cache holds the memoized per-site stage results, keyed by site ID.
+	// noCache disables memoization for evaluators whose call pattern never
+	// revisits a site (the location-filter and per-location figure probes),
+	// where cache entries would be allocated but never hit.
+	cache   map[int]*siteEntry
+	noCache bool
+
 	balancer energy.Balancer
+}
+
+// siteOutputs is everything the per-site stage produces for one site: the
+// provisioning, the yearly energy totals and the monthly cost.  It contains
+// only scalars, so cached results copy by assignment.
+type siteOutputs struct {
+	SolarKW          float64
+	WindKW           float64
+	BatteryKWh       float64
+	DemandKWh        float64
+	GreenKWh         float64
+	BrownKWh         float64
+	NetChargedKWh    float64
+	NetDischargedKWh float64
+	MaxBrownKW       float64
+	Breakdown        cost.Breakdown
+}
+
+// siteEntry is one memoized per-site stage result together with the inputs
+// it was computed for (the validation key).
+type siteEntry struct {
+	capacityKW float64
+	compute    []float64 // the schedule row the outputs correspond to
+	out        siteOutputs
 }
 
 // NewEvaluator builds an evaluator for the catalog and spec, precomputing
 // the per-site static quantities the hot path needs: epoch weights, the
-// brown-cost rank key, unit green production costs and the solar/wind
-// technology split of every site.
+// brown-cost rank key, unit green production costs, the solar/wind
+// technology split and the weighted PUE sum of every site.
 func NewEvaluator(cat *location.Catalog, spec Spec) (*Evaluator, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -105,6 +154,7 @@ func NewEvaluator(cat *location.Catalog, spec Spec) (*Evaluator, error) {
 		prof:   prof,
 		epochs: grid.Len(),
 		minDCs: minDCs,
+		cache:  make(map[int]*siteEntry),
 	}
 	e.weights = epochWeights(grid)
 	nSites := cat.Len()
@@ -113,6 +163,7 @@ func NewEvaluator(cat *location.Catalog, spec Spec) (*Evaluator, error) {
 	e.ucWind = make([]float64, nSites)
 	e.solarTW = make([]float64, nSites)
 	e.windTW = make([]float64, nSites)
+	e.pueKWh = make([]float64, nSites)
 	for _, s := range cat.Sites() {
 		row, ok := prof.Row(s.ID)
 		if !ok {
@@ -122,6 +173,11 @@ func NewEvaluator(cat *location.Catalog, spec Spec) (*Evaluator, error) {
 		e.ucSolar[row] = unitGreenCost(s, true, spec.Cost)
 		e.ucWind[row] = unitGreenCost(s, false, spec.Cost)
 		e.solarTW[row], e.windTW[row] = techWeights(e.ucSolar[row], e.ucWind[row], spec)
+		sum := 0.0
+		for t, p := range prof.PUE(row) {
+			sum += p * e.weights[t]
+		}
+		e.pueKWh[row] = sum
 	}
 	return e, nil
 }
@@ -131,10 +187,12 @@ func (e *Evaluator) Spec() Spec { return e.spec }
 
 // Evaluate provisions and prices the candidate siting, returning a full
 // Solution with per-site series.  Only the returned Solution is allocated;
-// all intermediate state comes from the evaluator's scratch buffers.
+// all intermediate state comes from the evaluator's scratch buffers.  The
+// per-site cache is bypassed (and left untouched), but the arithmetic is the
+// same, so the Solution agrees bit-for-bit with EvaluateCost.
 func (e *Evaluator) Evaluate(candidates []Candidate) (*Solution, error) {
 	sol := &Solution{Spec: e.spec, Feasible: true}
-	if _, err := e.run(candidates, sol); err != nil {
+	if _, err := e.run(candidates, Move{}, sol); err != nil {
 		return nil, err
 	}
 	return sol, nil
@@ -142,20 +200,47 @@ func (e *Evaluator) Evaluate(candidates []Candidate) (*Solution, error) {
 
 // EvaluateCost is the annealing inner loop: it provisions and prices the
 // candidate siting exactly like Evaluate but returns only the cost summary,
-// performing zero heap allocations in steady state.
+// performing zero heap allocations in steady state.  Without move metadata
+// every site is validated against the per-site cache by content.
 func (e *Evaluator) EvaluateCost(candidates []Candidate) (CostSummary, error) {
-	return e.run(candidates, nil)
+	return e.run(candidates, Move{}, nil)
 }
 
-// run executes the full evaluation pipeline.  When sol is non-nil the
-// per-site series and violation messages are materialized into it; when nil
-// the same arithmetic runs entirely on scratch state.
-func (e *Evaluator) run(candidates []Candidate, sol *Solution) (CostSummary, error) {
+// EvaluateCostMove is EvaluateCost with move metadata: the annealing chains
+// call it with the single-site move that produced the candidate siting, so
+// the evaluator re-runs the dirty site's pipeline and revalidates (rather
+// than recomputes) every clean site.  The result is bit-identical to a full
+// evaluation of the same candidates.
+func (e *Evaluator) EvaluateCostMove(candidates []Candidate, mv Move) (CostSummary, error) {
+	return e.run(candidates, mv, nil)
+}
+
+// InvalidateCache drops every memoized per-site result.  Steady-state calls
+// after an invalidation re-fill existing entries without allocating.
+func (e *Evaluator) InvalidateCache() {
+	for _, ent := range e.cache {
+		ent.capacityKW = math.Inf(-1)
+	}
+}
+
+// DisableCache turns off per-site memoization for this evaluator.  Probe
+// loops that price every site exactly once (location filtering, the
+// per-location cost figures) disable it so they do not allocate cache
+// entries that can never be hit; the arithmetic is unchanged either way.
+func (e *Evaluator) DisableCache() { e.noCache = true }
+
+// run executes the evaluation pipeline: shared schedule merge, per-site
+// stages (memoized unless sol is requested), the network-level green top-up
+// when per-site sizing cannot reach the target alone, and the final
+// aggregation.  When sol is non-nil the per-site series and violation
+// messages are materialized into it.
+func (e *Evaluator) run(candidates []Candidate, mv Move, sol *Solution) (CostSummary, error) {
 	if err := e.prepare(candidates); err != nil {
 		return CostSummary{}, err
 	}
 	spec := &e.spec
 	n := e.n
+	useCache := sol == nil && !e.noCache
 	feasible := true
 
 	totalCap := 0.0
@@ -194,93 +279,72 @@ func (e *Evaluator) run(candidates []Candidate, sol *Solution) (CostSummary, err
 		}
 	}
 
-	// Iterate schedule → plant sizing → schedule: the load schedule depends
-	// on where green energy is produced and vice versa.
-	e.scheduleLoad(false)
-	for iter := 0; iter < 3; iter++ {
-		e.sizePlants()
-		e.scheduleLoad(true)
-	}
-	e.sizeBatteries()
+	// Shared schedule merge: reference plants (site-local) drive the
+	// follow-the-renewables assignment.
+	e.referencePlants()
+	e.scheduleLoad()
 
-	// Final accounting per site.
-	e.migrationSeries()
-	e.demandSeriesAll()
-	aggregate := cost.Breakdown{}
+	// Per-site stages.
+	outs := e.outs[:n]
 	totalDemandKWh, totalGreenKWh := 0.0, 0.0
-	E := e.epochs
+	plantKW := 0.0
 	for i := 0; i < n; i++ {
-		site := e.sites[i]
-		green := e.green[i*E : (i+1)*E]
-		alpha, beta := e.alphaRow[i], e.betaRow[i]
-		for t := 0; t < E; t++ {
-			green[t] = alpha[t]*e.solarKW[i] + beta[t]*e.windKW[i]
+		if err := e.siteOutputsInto(i, mv, useCache, &outs[i]); err != nil {
+			return CostSummary{}, err
 		}
-		res, err := e.balancer.Balance(energy.BalanceInput{
-			GreenKW:            green,
-			DemandKW:           e.demand[i*E : (i+1)*E],
-			Weights:            e.weights,
-			Mode:               spec.Storage,
-			BatteryCapacityKWh: e.batteryKWh[i],
-			BatteryEfficiency:  spec.Cost.BatteryEfficiency,
-		})
-		if err != nil {
-			return CostSummary{}, fmt.Errorf("core: balance for %s: %w", site.Name, err)
-		}
-
-		maxBrown := 0.0
-		for _, b := range res.BrownKW {
-			if b > maxBrown {
-				maxBrown = b
-			}
-		}
-		if maxBrown > site.NearestPlantKW*maxBrownShareOfPlant {
-			feasible = false
-			if sol != nil {
-				sol.addViolation("site %s draws %.0f kW of brown power, above %.0f%% of the nearest plant (%.0f kW)",
-					site.Name, maxBrown, 100*maxBrownShareOfPlant, site.NearestPlantKW)
-			}
-		}
-
-		prov := cost.Provision{
-			CapacityKW: e.capacities[i],
-			MaxPUE:     site.MaxPUE,
-			SolarKW:    e.solarKW[i],
-			WindKW:     e.windKW[i],
-			BatteryKWh: e.batteryKWh[i],
-		}
-		use := cost.EnergyUse{
-			BrownKWh:         res.BrownKWh,
-			NetChargedKWh:    res.NetChargedKWh,
-			NetDischargedKWh: res.NetDischargedKWh,
-		}
-		breakdown := spec.Cost.MonthlySite(site, prov, use)
-		aggregate = aggregate.Add(breakdown)
-		totalDemandKWh += res.DemandKWh
-		totalGreenKWh += res.GreenUsedKWh + res.BattDischargedKWh + res.NetDischargedKWh
-
-		if sol != nil {
-			sol.Sites = append(sol.Sites, SiteSolution{
-				Site:          site,
-				Provision:     prov,
-				Energy:        use,
-				Breakdown:     breakdown,
-				GreenFraction: res.GreenFraction(),
-				ComputeKW:     copyFloats(e.compute[i*E : (i+1)*E]),
-				MigrationKW:   copyFloats(e.migration[i*E : (i+1)*E]),
-				BrownKW:       copyFloats(res.BrownKW),
-				GreenKW:       copyFloats(green),
-			})
-			sol.ProvisionedCapacityKW += e.capacities[i]
-			sol.SolarKW += e.solarKW[i]
-			sol.WindKW += e.windKW[i]
-			sol.BatteryKWh += e.batteryKWh[i]
-		}
+		totalDemandKWh += outs[i].DemandKWh
+		totalGreenKWh += outs[i].GreenKWh
+		plantKW += outs[i].SolarKW + outs[i].WindKW
 	}
-
 	greenFraction := 1.0
 	if totalDemandKWh > 0 {
 		greenFraction = math.Min(1, totalGreenKWh/totalDemandKWh)
+	}
+
+	// Network top-up: when some site cannot reach the green target from its
+	// own demand (capped plant scale, unviable technology), scale every
+	// site's plants by a common factor until the network-wide fraction
+	// reaches the target.  This stage is global, runs fresh every time, and
+	// consumes only the (cached or recomputed) per-site base sizings, so it
+	// preserves the bit-identity of delta and full evaluation.
+	if spec.MinGreenFraction > 0 && greenFraction+1e-3 < spec.MinGreenFraction && plantKW > 0 {
+		e.refreshDemandRows()
+		lambda, err := e.topUpScale(outs)
+		if err != nil {
+			return CostSummary{}, err
+		}
+		totalDemandKWh, totalGreenKWh = 0, 0
+		for i := 0; i < n; i++ {
+			if err := e.reaccount(i, lambda, &outs[i]); err != nil {
+				return CostSummary{}, err
+			}
+			totalDemandKWh += outs[i].DemandKWh
+			totalGreenKWh += outs[i].GreenKWh
+		}
+		greenFraction = 1.0
+		if totalDemandKWh > 0 {
+			greenFraction = math.Min(1, totalGreenKWh/totalDemandKWh)
+		}
+	}
+
+	// Final accounting and, for the full path, materialization.
+	aggregate := cost.Breakdown{}
+	for i := 0; i < n; i++ {
+		out := &outs[i]
+		site := e.sites[i]
+		if out.MaxBrownKW > site.NearestPlantKW*maxBrownShareOfPlant {
+			feasible = false
+			if sol != nil {
+				sol.addViolation("site %s draws %.0f kW of brown power, above %.0f%% of the nearest plant (%.0f kW)",
+					site.Name, out.MaxBrownKW, 100*maxBrownShareOfPlant, site.NearestPlantKW)
+			}
+		}
+		aggregate = aggregate.Add(out.Breakdown)
+		if sol != nil {
+			if err := e.materializeSite(i, out, sol); err != nil {
+				return CostSummary{}, err
+			}
+		}
 	}
 	if greenFraction+1e-3 < spec.MinGreenFraction {
 		feasible = false
@@ -320,18 +384,14 @@ func (e *Evaluator) prepare(candidates []Candidate) error {
 	e.brownRank = growSlice(e.brownRank, n)
 	e.availIdx = growSlice(e.availIdx, n)
 	e.availVal = growSlice(e.availVal, n)
+	e.refSolar = growSlice(e.refSolar, n)
+	e.refWind = growSlice(e.refWind, n)
 	e.solarKW = growSlice(e.solarKW, n)
 	e.windKW = growSlice(e.windKW, n)
-	e.baseSolar = growSlice(e.baseSolar, n)
-	e.baseWind = growSlice(e.baseWind, n)
-	e.batteryKWh = growSlice(e.batteryKWh, n)
-	e.demandKWh = growSlice(e.demandKWh, n)
-	e.order = growSlice(e.order, n)
-	e.blended = growSlice(e.blended, n)
+	e.outs = growSlice(e.outs, n)
 	e.compute = growSlice(e.compute, n*E)
 	e.migration = growSlice(e.migration, n*E)
 	e.demand = growSlice(e.demand, n*E)
-	e.green = growSlice(e.green, n*E)
 	e.scratchSeries = growSlice(e.scratchSeries, E)
 
 	for i, c := range candidates {
@@ -379,35 +439,36 @@ func (e *Evaluator) prepare(candidates []Candidate) error {
 	return nil
 }
 
+// referencePlants sizes the per-site reference plants that drive the load
+// schedule: the plant that would nominally cover the green-fraction share of
+// the site running flat out at its capacity.  Each reference plant depends
+// only on the site's own static profile and capacity, which is what makes
+// the schedule merge's inputs site-local.
+func (e *Evaluator) referencePlants() {
+	target := e.spec.MinGreenFraction
+	for i := 0; i < e.n; i++ {
+		e.refSolar[i], e.refWind[i] = 0, 0
+		if target <= 0 {
+			continue
+		}
+		refDemandKWh := e.capacities[i] * e.pueKWh[e.rows[i]]
+		e.refSolar[i], e.refWind[i] = e.basePlant(i, target*refDemandKWh)
+	}
+}
+
 // scheduleLoad assigns the required total compute power to sites in every
-// epoch, following the renewables: sites with more green energy available in
-// an epoch receive load first; any remainder goes to the sites with the
-// cheapest brown energy.  Assignments never exceed a site's capacity.  When
-// withPlants is false (the first pass, before any plant is sized) the load
-// is spread proportionally to capacity so the first plant-sizing pass sees a
-// stable demand.
-func (e *Evaluator) scheduleLoad(withPlants bool) {
+// epoch, following the renewables: sites whose reference plants produce more
+// green energy in an epoch receive load first (up to the IT power that green
+// production can feed through the site's PUE); any remainder goes to the
+// sites with the cheapest brown energy.  Assignments never exceed a site's
+// capacity.
+func (e *Evaluator) scheduleLoad() {
 	n, E := e.n, e.epochs
 	compute := e.compute[:n*E]
 	for i := range compute {
 		compute[i] = 0
 	}
 	total := e.spec.TotalCapacityKW
-
-	if !withPlants {
-		totalCap := 0.0
-		for _, c := range e.capacities[:n] {
-			totalCap += c
-		}
-		for i := 0; i < n; i++ {
-			share := total * e.capacities[i] / totalCap
-			row := compute[i*E : (i+1)*E]
-			for t := range row {
-				row[t] = share
-			}
-		}
-		return
-	}
 
 	// Brown cost rank: cheaper grid energy × PUE first (static per site, so
 	// the key is precomputed per catalog; only the tiny index sort runs here).
@@ -426,41 +487,51 @@ func (e *Evaluator) scheduleLoad(withPlants bool) {
 		rank[j+1] = ri
 	}
 
+	anyGreen := false
+	for i := 0; i < n; i++ {
+		if e.refSolar[i] > 0 || e.refWind[i] > 0 {
+			anyGreen = true
+			break
+		}
+	}
+
 	idx, val := e.availIdx[:n], e.availVal[:n]
 	for t := 0; t < E; t++ {
 		remaining := total
 
-		// Green availability per site this epoch, sorted descending with a
-		// stable insertion sort on the preallocated index buffer (n is the
-		// candidate count — single digits to low tens — so this beats any
-		// allocation-free generic sort).
-		for i := 0; i < n; i++ {
-			idx[i] = i
-			val[i] = e.alphaRow[i][t]*e.solarKW[i] + e.betaRow[i][t]*e.windKW[i]
-		}
-		for i := 1; i < n; i++ {
-			vi, ii := val[i], idx[i]
-			j := i - 1
-			for j >= 0 && val[j] < vi {
-				val[j+1], idx[j+1] = val[j], idx[j]
-				j--
+		if anyGreen {
+			// Green availability per site this epoch, sorted descending with
+			// a stable insertion sort on the preallocated index buffer (n is
+			// the candidate count — single digits to low tens — so this beats
+			// any allocation-free generic sort).
+			for i := 0; i < n; i++ {
+				idx[i] = i
+				val[i] = e.alphaRow[i][t]*e.refSolar[i] + e.betaRow[i][t]*e.refWind[i]
 			}
-			val[j+1], idx[j+1] = vi, ii
-		}
+			for i := 1; i < n; i++ {
+				vi, ii := val[i], idx[i]
+				j := i - 1
+				for j >= 0 && val[j] < vi {
+					val[j+1], idx[j+1] = val[j], idx[j]
+					j--
+				}
+				val[j+1], idx[j+1] = vi, ii
+			}
 
-		// First pass: load goes where green power is, up to the power the
-		// green plant can actually feed (divided by PUE to convert facility
-		// power back to IT power) and up to the site's capacity.
-		for k := 0; k < n; k++ {
-			if remaining <= 0 {
-				break
-			}
-			i := idx[k]
-			greenSupportedIT := val[k] / e.pueRow[i][t]
-			take := math.Min(remaining, math.Min(e.capacities[i], greenSupportedIT))
-			if take > 0 {
-				compute[i*E+t] = take
-				remaining -= take
+			// First pass: load goes where green power is, up to the power the
+			// reference plant can actually feed (divided by PUE to convert
+			// facility power back to IT power) and up to the site's capacity.
+			for k := 0; k < n; k++ {
+				if remaining <= 0 {
+					break
+				}
+				i := idx[k]
+				greenSupportedIT := val[k] / e.pueRow[i][t]
+				take := math.Min(remaining, math.Min(e.capacities[i], greenSupportedIT))
+				if take > 0 {
+					compute[i*E+t] = take
+					remaining -= take
+				}
 			}
 		}
 		// Second pass: leftover load goes to the cheapest brown sites.
@@ -481,214 +552,324 @@ func (e *Evaluator) scheduleLoad(withPlants bool) {
 	}
 }
 
-// migrationSeries derives the per-epoch migration overhead power at each
-// site from the current compute schedule: when a site's compute assignment
-// drops between consecutive epochs, the migrated load consumes power at the
-// donor for MigrationFraction of the next epoch (the paper's migratePow).
-func (e *Evaluator) migrationSeries() {
-	n, E := e.n, e.epochs
-	frac := e.spec.MigrationFraction
-	for i := 0; i < n; i++ {
-		c := e.compute[i*E : (i+1)*E]
-		m := e.migration[i*E : (i+1)*E]
-		m[0] = 0
-		for t := 1; t < E; t++ {
-			if drop := c[t-1] - c[t]; drop > 0 {
-				m[t] = frac * drop
-			} else {
-				m[t] = 0
-			}
-		}
+// siteOutputsInto produces site i's per-site stage outputs, reusing the
+// memoized result when the site is clean: its capacity and schedule row are
+// bitwise identical to the cache entry's.  A site whose capacity the move
+// metadata says changed (OldCap ≠ NewCap: grow, shrink, add) is dirty by
+// definition, so the row comparison is skipped outright; capacity-preserving
+// moves (swap) fall through to content validation, which lets a swap back to
+// a recently-priced site reuse its entry.
+func (e *Evaluator) siteOutputsInto(i int, mv Move, useCache bool, out *siteOutputs) error {
+	if !useCache {
+		return e.siteStage(i, out)
 	}
+	id := e.sites[i].ID
+	cap := e.capacities[i]
+	row := e.compute[i*e.epochs : (i+1)*e.epochs]
+	ent := e.cache[id]
+	dirty := mv.Kind != MoveNone && mv.Site == id && mv.NewCap != mv.OldCap
+	if ent != nil && !dirty && ent.capacityKW == cap && floatsEqual(ent.compute, row) {
+		*out = ent.out
+		return nil
+	}
+	if err := e.siteStage(i, out); err != nil {
+		return err
+	}
+	if ent == nil {
+		ent = &siteEntry{compute: make([]float64, e.epochs)}
+		e.cache[id] = ent
+	}
+	ent.capacityKW = cap
+	copy(ent.compute, row)
+	ent.out = *out
+	return nil
 }
 
-// demandSeriesAll converts IT power plus migration overhead into facility
-// power using each site's per-epoch PUE (the paper's powDemand).  It assumes
-// migrationSeries has been called for the current schedule.
-func (e *Evaluator) demandSeriesAll() {
-	n, E := e.n, e.epochs
-	for i := 0; i < n; i++ {
-		c := e.compute[i*E : (i+1)*E]
-		m := e.migration[i*E : (i+1)*E]
-		d := e.demand[i*E : (i+1)*E]
-		pue := e.pueRow[i]
-		for t := 0; t < E; t++ {
-			d[t] = (c[t] + m[t]) * pue[t]
-		}
-	}
-}
-
-// sizePlants chooses solar and wind capacities per site so the network
-// reaches the spec's green fraction for the current load schedule: base
-// sizes are allocated greedily to the sites with the cheapest green energy,
-// and a global bisection then scales them to hit the target exactly.
-func (e *Evaluator) sizePlants() {
-	n := e.n
+// siteStage runs the full per-site pipeline for site i: migration overhead
+// and facility demand from the schedule row, plant sizing by per-site
+// bisection against the site's own demand, battery sizing, and the final
+// energy/cost accounting.  Everything it reads is either static per site or
+// derived from (capacity, schedule row), which is the cache's validation key.
+func (e *Evaluator) siteStage(i int, out *siteOutputs) error {
 	spec := &e.spec
-	solar, wind := e.solarKW[:n], e.windKW[:n]
-	for i := range solar {
-		solar[i], wind[i] = 0, 0
-	}
-	if spec.MinGreenFraction <= 0 {
-		return
-	}
-	e.migrationSeries()
-	e.demandSeriesAll()
+	e.migrationRow(i)
+	e.demandRow(i)
 
-	// Yearly demand per site for the current schedule.
 	E := e.epochs
-	totalDemandKWh := 0.0
-	for i := 0; i < n; i++ {
-		d := e.demand[i*E : (i+1)*E]
-		sum := 0.0
-		for t, v := range d {
-			sum += v * e.weights[t]
-		}
-		e.demandKWh[i] = sum
-		totalDemandKWh += sum
+	d := e.demand[i*E : (i+1)*E]
+	demandKWh := 0.0
+	for t, v := range d {
+		demandKWh += v * e.weights[t]
 	}
 
-	// A site's green plant can only serve that site's own demand (plus what
-	// storage lets it shift in time), so the greedy allocation caps what a
-	// single site is asked to cover at a fraction of its yearly demand and
-	// spills the rest to the next-cheapest site.  The global bisection below
-	// then scales everything to hit the target exactly.
-	const usableFactor = 0.85
-
-	// Viable sites ordered by blended unit cost of green energy (cached per
-	// catalog; the insertion sort only touches the candidate indices).
-	order, blended := e.order[:0], e.blended[:0]
-	for i := 0; i < n; i++ {
-		row := e.rows[i]
-		sw, ww := e.solarTW[row], e.windTW[row]
-		if sw == 0 && ww == 0 {
-			continue
-		}
-		b := 0.0
-		if sw > 0 {
-			b += sw * e.ucSolar[row]
-		}
-		if ww > 0 {
-			b += ww * e.ucWind[row]
-		}
-		order = append(order, i)
-		blended = append(blended, b)
+	baseSolar, baseWind := 0.0, 0.0
+	if spec.MinGreenFraction > 0 && demandKWh > 0 {
+		baseSolar, baseWind = e.basePlant(i, spec.MinGreenFraction*demandKWh)
 	}
-	for i := 1; i < len(order); i++ {
-		oi, bi := order[i], blended[i]
-		j := i - 1
-		for j >= 0 && blended[j] > bi {
-			order[j+1], blended[j+1] = order[j], blended[j]
-			j--
-		}
-		order[j+1], blended[j+1] = oi, bi
-	}
-
-	requiredKWh := spec.MinGreenFraction * totalDemandKWh
-	remaining := requiredKWh
-	baseSolar, baseWind := e.baseSolar[:n], e.baseWind[:n]
-	for i := range baseSolar {
-		baseSolar[i], baseWind[i] = 0, 0
-	}
-	for _, i := range order {
-		if remaining <= 0 {
-			break
-		}
-		allocKWh := math.Min(remaining, usableFactor*e.demandKWh[i])
-		e.allocatePlant(i, allocKWh)
-		remaining -= allocKWh
-	}
-	// Whatever is left cannot be served by any single site within its usable
-	// share; spread it across all viable sites proportionally to demand so
-	// the bisection still has plants to scale (the green-fraction violation,
-	// if any, is reported by the caller).
-	if remaining > 1e-9 && len(order) > 0 {
-		viableDemand := 0.0
-		for _, i := range order {
-			viableDemand += e.demandKWh[i]
-		}
-		if viableDemand > 0 {
-			for _, i := range order {
-				e.allocatePlant(i, remaining*e.demandKWh[i]/viableDemand)
-			}
+	scale := 0.0
+	if baseSolar > 0 || baseWind > 0 {
+		var err error
+		scale, err = e.siteScale(i, baseSolar, baseWind)
+		if err != nil {
+			return err
 		}
 	}
-
-	// Global scale bisection to hit the target green fraction under the
-	// real storage dynamics.
-	if e.plantFraction(1) >= spec.MinGreenFraction {
-		// Shrink: find the smallest sufficient scale.
-		e.applyScale(e.bisectScale(0, 1))
-		return
-	}
-	// Grow: find a sufficient ceiling, then bisect down.
-	hi := 1.0
-	for hi < plantScaleCeiling && e.plantFraction(hi) < spec.MinGreenFraction {
-		hi *= 2
-	}
-	if hi > plantScaleCeiling {
-		hi = plantScaleCeiling
-	}
-	if e.plantFraction(hi) < spec.MinGreenFraction {
-		// Unreachable with this siting; return the ceiling so run records
-		// the green-fraction violation.
-		e.applyScale(hi)
-		return
-	}
-	e.applyScale(e.bisectScale(hi/2, hi))
+	out.SolarKW = baseSolar * scale
+	out.WindKW = baseWind * scale
+	out.BatteryKWh = batteryCapacityFor(out.SolarKW, out.WindKW, e.sites[i], *spec)
+	return e.accountSite(i, out)
 }
 
-// bisectScale narrows [lo, hi] — where hi is known to reach the green
-// target and lo is not — and returns the hi side of the final bracket, so
-// the result always satisfies the target.  The stop is a relative width of
+// migrationRow derives site i's per-epoch migration overhead power from its
+// compute schedule row: when the site's assignment drops between consecutive
+// epochs, the migrated load consumes power at the donor for
+// MigrationFraction of the next epoch (the paper's migratePow).
+func (e *Evaluator) migrationRow(i int) {
+	E := e.epochs
+	frac := e.spec.MigrationFraction
+	c := e.compute[i*E : (i+1)*E]
+	m := e.migration[i*E : (i+1)*E]
+	m[0] = 0
+	for t := 1; t < E; t++ {
+		if drop := c[t-1] - c[t]; drop > 0 {
+			m[t] = frac * drop
+		} else {
+			m[t] = 0
+		}
+	}
+}
+
+// demandRow converts site i's IT power plus migration overhead into facility
+// power using its per-epoch PUE (the paper's powDemand).  It assumes
+// migrationRow has run for the current schedule.
+func (e *Evaluator) demandRow(i int) {
+	E := e.epochs
+	c := e.compute[i*E : (i+1)*E]
+	m := e.migration[i*E : (i+1)*E]
+	d := e.demand[i*E : (i+1)*E]
+	pue := e.pueRow[i]
+	for t := 0; t < E; t++ {
+		d[t] = (c[t] + m[t]) * pue[t]
+	}
+}
+
+// refreshDemandRows recomputes every site's migration and demand rows from
+// the current schedule.  The top-up stage needs them for all sites, including
+// ones whose per-site stage was served from cache.
+func (e *Evaluator) refreshDemandRows() {
+	for i := 0; i < e.n; i++ {
+		e.migrationRow(i)
+		e.demandRow(i)
+	}
+}
+
+// basePlant converts allocKWh of yearly green energy into plant capacity at
+// site i using the site's cached technology split.
+func (e *Evaluator) basePlant(i int, allocKWh float64) (solarKW, windKW float64) {
+	if allocKWh <= 0 {
+		return 0, 0
+	}
+	site := e.sites[i]
+	row := e.rows[i]
+	if sw := e.solarTW[row]; sw > 0 && site.SolarCapacityFactor > 0.02 {
+		solarKW = allocKWh * sw / (site.SolarCapacityFactor * float64(timeseries.HoursPerYear))
+	}
+	if ww := e.windTW[row]; ww > 0 && site.WindCapacityFactor > 0.02 {
+		windKW = allocKWh * ww / (site.WindCapacityFactor * float64(timeseries.HoursPerYear))
+	}
+	return solarKW, windKW
+}
+
+// siteScale finds the factor by which site i's base plant must be scaled so
+// the site reaches the spec's green fraction on its own demand, under the
+// real storage dynamics.  It mirrors the bisection the paper's provisioning
+// loop uses: shrink within [0,1] when the base plant overshoots, otherwise
+// double up to the ceiling and bisect down.  The stop is a relative width of
 // 1e-4: the feasibility check tolerates 1e-3 on the green fraction, so
-// chasing more precision only burns plantFraction calls (each one balances
-// every site's storage over the whole grid).
-func (e *Evaluator) bisectScale(lo, hi float64) float64 {
+// chasing more precision only burns balance calls.
+func (e *Evaluator) siteScale(i int, baseSolar, baseWind float64) (float64, error) {
+	target := e.spec.MinGreenFraction
+	f, err := e.siteFraction(i, baseSolar, baseWind, 1)
+	if err != nil {
+		return 0, err
+	}
+	if f >= target {
+		return e.siteBisect(i, baseSolar, baseWind, 0, 1)
+	}
+	hi := 1.0
+	for hi < plantScaleCeiling {
+		hi *= 2
+		if hi > plantScaleCeiling {
+			hi = plantScaleCeiling
+		}
+		if f, err = e.siteFraction(i, baseSolar, baseWind, hi); err != nil {
+			return 0, err
+		}
+		if f >= target {
+			return e.siteBisect(i, baseSolar, baseWind, hi/2, hi)
+		}
+	}
+	// Unreachable from this site's own demand even at the ceiling; return
+	// the ceiling so the network top-up (and, failing that, the
+	// green-fraction violation) takes over.
+	return hi, nil
+}
+
+// siteBisect narrows [lo, hi] — where hi is known to reach the green target
+// and lo is not — and returns the hi side of the final bracket, so the
+// result always satisfies the target.
+func (e *Evaluator) siteBisect(i int, baseSolar, baseWind, lo, hi float64) (float64, error) {
 	target := e.spec.MinGreenFraction
 	for iter := 0; iter < 40 && hi-lo > 1e-4*hi; iter++ {
 		mid := (lo + hi) / 2
-		if e.plantFraction(mid) >= target {
+		f, err := e.siteFraction(i, baseSolar, baseWind, mid)
+		if err != nil {
+			return 0, err
+		}
+		if f >= target {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
-	return hi
+	return hi, nil
 }
 
-// allocatePlant converts allocKWh of yearly green energy into base plant
-// capacity at site i using the site's cached technology split.
-func (e *Evaluator) allocatePlant(i int, allocKWh float64) {
-	if allocKWh <= 0 {
-		return
+// siteFraction returns site i's green fraction when its base plant is scaled
+// by the given factor, under the spec's real storage dynamics.
+func (e *Evaluator) siteFraction(i int, baseSolar, baseWind, scale float64) (float64, error) {
+	E := e.epochs
+	spec := &e.spec
+	solar := baseSolar * scale
+	wind := baseWind * scale
+	green := e.scratchSeries[:E]
+	alpha, beta := e.alphaRow[i], e.betaRow[i]
+	for t := 0; t < E; t++ {
+		green[t] = alpha[t]*solar + beta[t]*wind
 	}
+	tot, err := energy.Totals(energy.BalanceInput{
+		GreenKW:            green,
+		DemandKW:           e.demand[i*E : (i+1)*E],
+		Weights:            e.weights,
+		Mode:               spec.Storage,
+		BatteryCapacityKWh: batteryCapacityFor(solar, wind, e.sites[i], *spec),
+		BatteryEfficiency:  spec.Cost.BatteryEfficiency,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: sizing balance for %s: %w", e.sites[i].Name, err)
+	}
+	return tot.GreenFraction(), nil
+}
+
+// accountSite runs the final energy balance and cost model for site i with
+// the provisioning already stored in out, filling the energy totals and the
+// monthly cost breakdown.
+func (e *Evaluator) accountSite(i int, out *siteOutputs) error {
+	E := e.epochs
+	spec := &e.spec
 	site := e.sites[i]
-	row := e.rows[i]
-	if sw := e.solarTW[row]; sw > 0 && site.SolarCapacityFactor > 0.02 {
-		e.baseSolar[i] += allocKWh * sw / (site.SolarCapacityFactor * float64(timeseries.HoursPerYear))
+	green := e.scratchSeries[:E]
+	alpha, beta := e.alphaRow[i], e.betaRow[i]
+	for t := 0; t < E; t++ {
+		green[t] = alpha[t]*out.SolarKW + beta[t]*out.WindKW
 	}
-	if ww := e.windTW[row]; ww > 0 && site.WindCapacityFactor > 0.02 {
-		e.baseWind[i] += allocKWh * ww / (site.WindCapacityFactor * float64(timeseries.HoursPerYear))
+	tot, err := energy.Totals(energy.BalanceInput{
+		GreenKW:            green,
+		DemandKW:           e.demand[i*E : (i+1)*E],
+		Weights:            e.weights,
+		Mode:               spec.Storage,
+		BatteryCapacityKWh: out.BatteryKWh,
+		BatteryEfficiency:  spec.Cost.BatteryEfficiency,
+	})
+	if err != nil {
+		return fmt.Errorf("core: balance for %s: %w", site.Name, err)
 	}
+	out.DemandKWh = tot.DemandKWh
+	out.GreenKWh = tot.GreenUsedKWh + tot.BattDischargedKWh + tot.NetDischargedKWh
+	out.BrownKWh = tot.BrownKWh
+	out.NetChargedKWh = tot.NetChargedKWh
+	out.NetDischargedKWh = tot.NetDischargedKWh
+	out.MaxBrownKW = tot.MaxBrownKW
+	out.Breakdown = spec.Cost.MonthlySite(site, cost.Provision{
+		CapacityKW: e.capacities[i],
+		MaxPUE:     site.MaxPUE,
+		SolarKW:    out.SolarKW,
+		WindKW:     out.WindKW,
+		BatteryKWh: out.BatteryKWh,
+	}, cost.EnergyUse{
+		BrownKWh:         tot.BrownKWh,
+		NetChargedKWh:    tot.NetChargedKWh,
+		NetDischargedKWh: tot.NetDischargedKWh,
+	})
+	return nil
 }
 
-// plantFraction returns the network green fraction achieved when the base
-// plant allocation is scaled by the given factor, under the spec's real
-// storage dynamics.
-func (e *Evaluator) plantFraction(scale float64) float64 {
-	n, E := e.n, e.epochs
+// topUpScale finds the common factor λ ≥ 1 by which every site's plants must
+// be scaled so the network-wide green fraction reaches the target, mirroring
+// the per-site search: double up to the ceiling, then bisect down.  It
+// assumes refreshDemandRows has run.
+func (e *Evaluator) topUpScale(outs []siteOutputs) (float64, error) {
+	target := e.spec.MinGreenFraction
+	f, err := e.networkFraction(outs, 1)
+	if err != nil {
+		return 0, err
+	}
+	if f >= target {
+		return 1, nil
+	}
+	hi := 1.0
+	reached := false
+	for hi < plantScaleCeiling {
+		hi *= 2
+		if hi > plantScaleCeiling {
+			hi = plantScaleCeiling
+		}
+		if f, err = e.networkFraction(outs, hi); err != nil {
+			return 0, err
+		}
+		if f >= target {
+			reached = true
+			break
+		}
+	}
+	if !reached {
+		// Unreachable with this siting even at the ceiling; run records the
+		// green-fraction violation.
+		return hi, nil
+	}
+	lo := hi / 2
+	if lo < 1 {
+		lo = 1
+	}
+	for iter := 0; iter < 40 && hi-lo > 1e-4*hi; iter++ {
+		mid := (lo + hi) / 2
+		if f, err = e.networkFraction(outs, mid); err != nil {
+			return 0, err
+		}
+		if f >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// networkFraction returns the network green fraction achieved when every
+// site's plants are scaled by λ, under the spec's real storage dynamics.
+func (e *Evaluator) networkFraction(outs []siteOutputs, lambda float64) (float64, error) {
+	E := e.epochs
 	spec := &e.spec
 	greenTotal, demandTotal := 0.0, 0.0
 	green := e.scratchSeries[:E]
-	for i := 0; i < n; i++ {
-		solar := e.baseSolar[i] * scale
-		wind := e.baseWind[i] * scale
+	for i := 0; i < e.n; i++ {
+		solar := outs[i].SolarKW * lambda
+		wind := outs[i].WindKW * lambda
 		alpha, beta := e.alphaRow[i], e.betaRow[i]
 		for t := 0; t < E; t++ {
 			green[t] = alpha[t]*solar + beta[t]*wind
 		}
-		res, err := e.balancer.Balance(energy.BalanceInput{
+		tot, err := energy.Totals(energy.BalanceInput{
 			GreenKW:            green,
 			DemandKW:           e.demand[i*E : (i+1)*E],
 			Weights:            e.weights,
@@ -697,31 +878,75 @@ func (e *Evaluator) plantFraction(scale float64) float64 {
 			BatteryEfficiency:  spec.Cost.BatteryEfficiency,
 		})
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("core: top-up balance for %s: %w", e.sites[i].Name, err)
 		}
-		greenTotal += res.GreenUsedKWh + res.BattDischargedKWh + res.NetDischargedKWh
-		demandTotal += res.DemandKWh
+		greenTotal += tot.GreenUsedKWh + tot.BattDischargedKWh + tot.NetDischargedKWh
+		demandTotal += tot.DemandKWh
 	}
 	if demandTotal <= 0 {
-		return 1
+		return 1, nil
 	}
-	return greenTotal / demandTotal
+	return greenTotal / demandTotal, nil
 }
 
-// applyScale writes the scaled base allocation into the final plant sizes.
-func (e *Evaluator) applyScale(scale float64) {
-	for i := 0; i < e.n; i++ {
-		e.solarKW[i] = e.baseSolar[i] * scale
-		e.windKW[i] = e.baseWind[i] * scale
-	}
+// reaccount scales site i's plants by λ, resizes its battery and redoes the
+// final accounting; used after the network top-up changed the plant sizes.
+func (e *Evaluator) reaccount(i int, lambda float64, out *siteOutputs) error {
+	out.SolarKW *= lambda
+	out.WindKW *= lambda
+	out.BatteryKWh = batteryCapacityFor(out.SolarKW, out.WindKW, e.sites[i], e.spec)
+	return e.accountSite(i, out)
 }
 
-// sizeBatteries fills the battery capacity per site for the final plant
-// sizes (zero unless battery storage is selected).
-func (e *Evaluator) sizeBatteries() {
-	for i := 0; i < e.n; i++ {
-		e.batteryKWh[i] = batteryCapacityFor(e.solarKW[i], e.windKW[i], e.sites[i], e.spec)
+// materializeSite fills sol with site i's full solution: the provisioning
+// and cost from the per-site outputs, plus the per-epoch series from one
+// final balance (whose totals are bit-identical to the scalar accounting).
+func (e *Evaluator) materializeSite(i int, out *siteOutputs, sol *Solution) error {
+	E := e.epochs
+	spec := &e.spec
+	site := e.sites[i]
+	green := make([]float64, E)
+	alpha, beta := e.alphaRow[i], e.betaRow[i]
+	for t := 0; t < E; t++ {
+		green[t] = alpha[t]*out.SolarKW + beta[t]*out.WindKW
 	}
+	res, err := e.balancer.Balance(energy.BalanceInput{
+		GreenKW:            green,
+		DemandKW:           e.demand[i*E : (i+1)*E],
+		Weights:            e.weights,
+		Mode:               spec.Storage,
+		BatteryCapacityKWh: out.BatteryKWh,
+		BatteryEfficiency:  spec.Cost.BatteryEfficiency,
+	})
+	if err != nil {
+		return fmt.Errorf("core: balance for %s: %w", site.Name, err)
+	}
+	sol.Sites = append(sol.Sites, SiteSolution{
+		Site: site,
+		Provision: cost.Provision{
+			CapacityKW: e.capacities[i],
+			MaxPUE:     site.MaxPUE,
+			SolarKW:    out.SolarKW,
+			WindKW:     out.WindKW,
+			BatteryKWh: out.BatteryKWh,
+		},
+		Energy: cost.EnergyUse{
+			BrownKWh:         out.BrownKWh,
+			NetChargedKWh:    out.NetChargedKWh,
+			NetDischargedKWh: out.NetDischargedKWh,
+		},
+		Breakdown:     out.Breakdown,
+		GreenFraction: res.GreenFraction(),
+		ComputeKW:     copyFloats(e.compute[i*E : (i+1)*E]),
+		MigrationKW:   copyFloats(e.migration[i*E : (i+1)*E]),
+		BrownKW:       copyFloats(res.BrownKW),
+		GreenKW:       green,
+	})
+	sol.ProvisionedCapacityKW += e.capacities[i]
+	sol.SolarKW += out.SolarKW
+	sol.WindKW += out.WindKW
+	sol.BatteryKWh += out.BatteryKWh
+	return nil
 }
 
 // growSlice returns s resized to n, reusing the backing array when it is
@@ -731,6 +956,20 @@ func growSlice[T any](s []T, n int) []T {
 		return make([]T, n)
 	}
 	return s[:n]
+}
+
+// floatsEqual reports whether two series are bitwise identical (no values in
+// the evaluator are NaN, so == is exact equality).
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func copyFloats(s []float64) []float64 {

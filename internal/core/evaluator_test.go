@@ -89,9 +89,10 @@ func TestEvaluateCostZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
-func TestScheduleLoadFirstPassProportional(t *testing.T) {
-	// Before any plant exists (the nil solar/wind first pass), the load is
-	// spread proportionally to capacity in every epoch.
+func TestScheduleLoadSaturatesTightCapacity(t *testing.T) {
+	// When the aggregate capacity exactly matches the requirement, every
+	// site must run at its capacity in every epoch, whatever the green
+	// availability ordering says.
 	spec := smallSpec()
 	ev := newTestEvaluator(t, 30, spec)
 	cands := []Candidate{
@@ -101,12 +102,13 @@ func TestScheduleLoadFirstPassProportional(t *testing.T) {
 	if err := ev.prepare(cands); err != nil {
 		t.Fatal(err)
 	}
-	ev.scheduleLoad(false)
+	ev.referencePlants()
+	ev.scheduleLoad()
 	E := ev.epochs
 	for t2 := 0; t2 < E; t2++ {
 		got0, got1 := ev.compute[t2], ev.compute[E+t2]
 		if math.Abs(got0-7_500) > 1e-6 || math.Abs(got1-2_500) > 1e-6 {
-			t.Fatalf("epoch %d: first-pass split (%v, %v), want (7500, 2500)", t2, got0, got1)
+			t.Fatalf("epoch %d: split (%v, %v), want (7500, 2500)", t2, got0, got1)
 		}
 	}
 }
@@ -127,10 +129,10 @@ func TestScheduleLoadZeroCapacitySite(t *testing.T) {
 	// capacity means "unspecified", so the zero-capacity case can only be
 	// reached through the scheduler's own input).
 	ev.capacities[1] = 0
-	// Give the dead site plants so the green pass is tempted by it.
-	ev.solarKW[0], ev.solarKW[1] = 0, 5_000
-	ev.windKW[0], ev.windKW[1] = 0, 5_000
-	ev.scheduleLoad(true)
+	// Give the dead site reference plants so the green pass is tempted by it.
+	ev.refSolar[0], ev.refSolar[1] = 0, 5_000
+	ev.refWind[0], ev.refWind[1] = 0, 5_000
+	ev.scheduleLoad()
 	E := ev.epochs
 	for t2 := 0; t2 < E; t2++ {
 		if ev.compute[E+t2] != 0 {
@@ -155,9 +157,8 @@ func TestScheduleLoadUnplaceableRemainder(t *testing.T) {
 	if err := ev.prepare(cands); err != nil {
 		t.Fatal(err)
 	}
-	ev.scheduleLoad(false)
-	ev.sizePlants()
-	ev.scheduleLoad(true)
+	ev.referencePlants()
+	ev.scheduleLoad()
 	E := ev.epochs
 	for t2 := 0; t2 < E; t2++ {
 		if ev.compute[t2] > 3_000+1e-6 || ev.compute[E+t2] > 2_000+1e-6 {

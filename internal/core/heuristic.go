@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"greencloud/internal/anneal"
 	"greencloud/internal/location"
@@ -17,6 +19,12 @@ type SolveOptions struct {
 	// search over; the filtering stage is skipped.  Sweeps that call Solve
 	// many times on the same catalog filter once and reuse the list.
 	Candidates []int
+	// InitialCandidates, when non-empty, is a warm-start siting: it is
+	// offered as an additional starting point to the annealing chains, which
+	// adopt it when it prices better than the built-in initial sitings.
+	// Sweeps use it to seed each green-fraction point with the previous
+	// point's solution.  The search stays deterministic for a fixed seed.
+	InitialCandidates []Candidate
 	// FilterKeep is how many candidate locations survive the filtering
 	// stage (the paper keeps 50–100 of its 1373); default 60.
 	FilterKeep int
@@ -57,6 +65,11 @@ func (o SolveOptions) withDefaults(spec Spec) SolveOptions {
 // and storage settings, and for a plain brown datacenter) and keeps the
 // `keep` cheapest locations, always including the very best wind and solar
 // sites so the annealing stage can exploit them.
+//
+// The catalog is sharded across a GOMAXPROCS-sized worker pool; each worker
+// owns its pair of cached evaluators and every site writes its score into
+// its own slot, so the result is identical to pricing the catalog
+// sequentially.
 func FilterSites(cat *location.Catalog, spec Spec, keep int) ([]int, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -77,61 +90,100 @@ func FilterSites(cat *location.Catalog, spec Spec, keep int) ([]int, error) {
 	}
 	refCapacity := spec.TotalCapacityKW / float64(minDCs)
 
-	// One reusable evaluator per single-site spec: pricing every location in
-	// the catalog is the filter's hot loop, and the cached evaluators make
-	// each probe allocation-free.
 	brownSpec := spec
 	brownSpec.MinGreenFraction = 0
-	brownEval, err := NewEvaluator(cat, singleSiteSpec(brownSpec, refCapacity))
-	if err != nil {
-		return nil, fmt.Errorf("core: filter: %w", err)
-	}
-	var greenEval *Evaluator
-	if spec.MinGreenFraction > 0 {
-		greenEval, err = NewEvaluator(cat, singleSiteSpec(spec, refCapacity))
+	sites := cat.Sites()
+	scores := make([]float64, len(sites))
+
+	// scoreRange prices its share of the catalog with its own reusable
+	// evaluators: pricing every location is the filter's hot loop, and a
+	// warm single-site evaluator makes each probe allocation-free.  The
+	// per-site memo cache is disabled — every site is priced exactly once,
+	// so entries could never be hit.
+	scoreRange := func(nextIdx *atomic.Int64) error {
+		brownEval, err := NewEvaluator(cat, singleSiteSpec(brownSpec, refCapacity))
 		if err != nil {
-			return nil, fmt.Errorf("core: filter: %w", err)
+			return fmt.Errorf("core: filter: %w", err)
+		}
+		brownEval.DisableCache()
+		var greenEval *Evaluator
+		if spec.MinGreenFraction > 0 {
+			greenEval, err = NewEvaluator(cat, singleSiteSpec(spec, refCapacity))
+			if err != nil {
+				return fmt.Errorf("core: filter: %w", err)
+			}
+			greenEval.DisableCache()
+		}
+		probe := make([]Candidate, 1)
+		for {
+			i := int(nextIdx.Add(1))
+			if i >= len(sites) {
+				return nil
+			}
+			probe[0] = Candidate{SiteID: sites[i].ID, CapacityKW: refCapacity}
+			brown, err := brownEval.EvaluateCost(probe)
+			if err != nil {
+				return fmt.Errorf("core: filter: %w", err)
+			}
+			score := brown.MonthlyUSD
+			if greenEval != nil {
+				green, err := greenEval.EvaluateCost(probe)
+				if err != nil {
+					return fmt.Errorf("core: filter: %w", err)
+				}
+				// A site that cannot reach the green target alone is still
+				// useful in a network, so only use its cost as the score.
+				score = math.Min(score, green.MonthlyUSD)
+				if green.Feasible {
+					score = green.MonthlyUSD
+				}
+			}
+			scores[i] = score
 		}
 	}
 
-	type scored struct {
-		id    int
-		score float64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sites) {
+		workers = len(sites)
 	}
-	scores := make([]scored, 0, cat.Len())
-	probe := make([]Candidate, 1)
-	for _, site := range cat.Sites() {
-		probe[0] = Candidate{SiteID: site.ID, CapacityKW: refCapacity}
-		// Brown reference cost.
-		brown, err := brownEval.EvaluateCost(probe)
-		if err != nil {
-			return nil, fmt.Errorf("core: filter: %w", err)
+	var next atomic.Int64
+	next.Store(-1)
+	if workers <= 1 {
+		if err := scoreRange(&next); err != nil {
+			return nil, err
 		}
-		score := brown.MonthlyUSD
-		if greenEval != nil {
-			green, err := greenEval.EvaluateCost(probe)
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = scoreRange(&next)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
-				return nil, fmt.Errorf("core: filter: %w", err)
-			}
-			// A site that cannot reach the green target alone is still
-			// useful in a network, so only use its cost as the score.
-			score = math.Min(score, green.MonthlyUSD)
-			if green.Feasible {
-				score = green.MonthlyUSD
+				return nil, err
 			}
 		}
-		scores = append(scores, scored{id: site.ID, score: score})
 	}
-	sort.Slice(scores, func(i, j int) bool { return scores[i].score < scores[j].score })
+
+	order := make([]int, len(sites))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
 
 	selected := make([]int, 0, keep+20)
 	seen := make(map[int]bool, keep+20)
-	for _, s := range scores {
+	for _, i := range order {
 		if len(selected) >= keep {
 			break
 		}
-		selected = append(selected, s.id)
-		seen[s.id] = true
+		selected = append(selected, sites[i].ID)
+		seen[sites[i].ID] = true
 	}
 	// Always keep the very best renewable sites: they anchor the green
 	// solutions even if their brown cost is mediocre.
@@ -161,10 +213,97 @@ func (s siting) clone() siting {
 	return siting{candidates: out}
 }
 
+// proposeMove draws one neighbourhood move: swap a site, add or remove one,
+// or resize one site's capacity.  It returns the modified siting together
+// with the move metadata the evaluator's delta path consumes.
+//
+// Moves that would silently do nothing (a swap or add whose sampled site is
+// already selected, a shrink below the survivable share, a removal at the
+// availability floor) resample or fall through to a capacity-grow move, so
+// annealing chains never burn an iteration re-evaluating an unchanged state.
+func proposeMove(s siting, rng *rand.Rand, filtered []int, spec Spec,
+	minDCs, maxDCs int, quantum float64) (siting, Move) {
+
+	out := s.clone()
+	cands := out.candidates
+	grow := func() (siting, Move) {
+		i := rng.Intn(len(cands))
+		mv := Move{Kind: MoveGrow, Site: cands[i].SiteID, OldCap: cands[i].CapacityKW}
+		cands[i].CapacityKW += quantum
+		mv.NewCap = cands[i].CapacityKW
+		out.candidates = cands
+		return out, mv
+	}
+	if len(cands) == 0 {
+		return out, Move{}
+	}
+
+	switch rng.Intn(5) {
+	case 0: // swap a site for an unselected filtered site
+		if len(cands) < len(filtered) {
+			i := rng.Intn(len(cands))
+			for tries := 0; tries < 8; tries++ {
+				replacement := filtered[rng.Intn(len(filtered))]
+				if sitingContains(cands, replacement) {
+					continue
+				}
+				cap := cands[i].CapacityKW
+				cands[i].SiteID = replacement
+				out.candidates = cands
+				return out, Move{Kind: MoveSwap, Site: replacement, OldCap: cap, NewCap: cap}
+			}
+		}
+	case 1: // add a site
+		if len(cands) < maxDCs && len(cands) < len(filtered) {
+			for tries := 0; tries < 8; tries++ {
+				id := filtered[rng.Intn(len(filtered))]
+				if sitingContains(cands, id) {
+					continue
+				}
+				share := spec.TotalCapacityKW / float64(len(cands)+1)
+				cands = append(cands, Candidate{SiteID: id, CapacityKW: share})
+				// Rebalance to keep every site at the survivable share.
+				rebalance(cands, spec)
+				out.candidates = cands
+				return out, Move{Kind: MoveAdd, Site: id, NewCap: cands[len(cands)-1].CapacityKW}
+			}
+		}
+	case 2: // remove a site
+		if len(cands) > minDCs {
+			i := rng.Intn(len(cands))
+			mv := Move{Kind: MoveRemove, Site: cands[i].SiteID, OldCap: cands[i].CapacityKW}
+			cands = append(cands[:i], cands[i+1:]...)
+			rebalance(cands, spec)
+			out.candidates = cands
+			return out, mv
+		}
+	case 3:
+		return grow()
+	case 4: // shrink one site's capacity (not below the survivable share)
+		i := rng.Intn(len(cands))
+		minShare := spec.TotalCapacityKW / float64(len(cands))
+		if cands[i].CapacityKW-quantum >= minShare-1e-9 {
+			mv := Move{Kind: MoveShrink, Site: cands[i].SiteID, OldCap: cands[i].CapacityKW}
+			cands[i].CapacityKW -= quantum
+			mv.NewCap = cands[i].CapacityKW
+			out.candidates = cands
+			return out, mv
+		}
+	}
+	// The sampled move was impossible (sites exhausted, at the availability
+	// floor, at the survivable share): fall through to a grow move, which is
+	// always applicable.
+	return grow()
+}
+
 // Solve runs the heuristic solver: filter locations, then search over
-// sitings and capacity splits with parallel simulated annealing, evaluating
-// every candidate siting with the fast evaluator, and return the best
-// feasible solution found.
+// sitings and capacity splits with parallel simulated annealing, and return
+// the best feasible solution found.  Each chain owns an incremental
+// Evaluator whose delta path re-prices only the sites a move dirtied, and
+// move metadata flows from the neighbourhood function through the annealing
+// loop into the evaluator.  Delta evaluation is bit-identical to full
+// evaluation, so results remain reproducible for a fixed seed regardless of
+// parallelism.
 func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -189,35 +328,23 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 			ErrInfeasible, len(filtered), minDCs)
 	}
 
-	// The annealing chains run concurrently, and an Evaluator is single-
-	// threaded, so the energy function draws one from a pool.  Evaluators
-	// are pure functions of the candidate set, so which chain gets which
-	// evaluator never affects the result.
-	first, err := NewEvaluator(cat, spec)
+	// The shared evaluator serves the single-threaded phases (initial-siting
+	// selection, the top-level initial energy, the final materialization);
+	// each annealing chain creates its own.
+	shared, err := NewEvaluator(cat, spec)
 	if err != nil {
 		return nil, err
 	}
-	pool := sync.Pool{New: func() any {
-		ev, err := NewEvaluator(cat, spec)
-		if err != nil {
-			// NewEvaluator only fails on inputs already validated above.
-			panic(err)
-		}
-		return ev
-	}}
-	pool.Put(first)
-
-	energyOf := func(s siting) float64 {
-		ev := pool.Get().(*Evaluator)
-		res, err := ev.EvaluateCost(s.candidates)
-		pool.Put(ev)
+	energyOf := func(ev *Evaluator, s siting, mv Move) float64 {
+		res, err := ev.EvaluateCostMove(s.candidates, mv)
 		if err != nil || !res.Feasible {
 			return math.Inf(1)
 		}
 		return res.MonthlyUSD
 	}
 
-	initial := buildInitialSiting(cat, filtered, minDCs, spec, energyOf)
+	initial := buildInitialSiting(cat, filtered, minDCs, spec, opts.InitialCandidates,
+		func(s siting) float64 { return energyOf(shared, s, Move{}) })
 
 	maxDCs := spec.MaxDatacenters
 	if maxDCs == 0 {
@@ -225,55 +352,29 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 	}
 	quantum := opts.CapacityQuantumKW
 
-	neighbor := func(s siting, rng *rand.Rand) siting {
-		out := s.clone()
-		cands := out.candidates
-		switch move := rng.Intn(5); move {
-		case 0: // swap a site for an unselected filtered site
-			if len(cands) > 0 {
-				i := rng.Intn(len(cands))
-				replacement := filtered[rng.Intn(len(filtered))]
-				if !sitingContains(cands, replacement) {
-					cands[i].SiteID = replacement
-				}
-			}
-		case 1: // add a site
-			if len(cands) < maxDCs {
-				id := filtered[rng.Intn(len(filtered))]
-				if !sitingContains(cands, id) {
-					share := spec.TotalCapacityKW / float64(len(cands)+1)
-					cands = append(cands, Candidate{SiteID: id, CapacityKW: share})
-					// Rebalance to keep every site at the survivable share.
-					rebalance(cands, spec)
-				}
-			}
-		case 2: // remove a site
-			if len(cands) > minDCs {
-				i := rng.Intn(len(cands))
-				cands = append(cands[:i], cands[i+1:]...)
-				rebalance(cands, spec)
-			}
-		case 3: // grow one site's capacity
-			if len(cands) > 0 {
-				cands[rng.Intn(len(cands))].CapacityKW += quantum
-			}
-		case 4: // shrink one site's capacity (not below the survivable share)
-			if len(cands) > 0 {
-				i := rng.Intn(len(cands))
-				minShare := spec.TotalCapacityKW / float64(len(cands))
-				if cands[i].CapacityKW-quantum >= minShare-1e-9 {
-					cands[i].CapacityKW -= quantum
-				}
-			}
-		}
-		out.candidates = cands
-		return out
-	}
-
 	result, err := anneal.Run(anneal.Config[siting]{
-		Initial:       initial,
-		Energy:        energyOf,
-		Neighbor:      neighbor,
+		Initial: initial,
+		NewContext: func(chain int) any {
+			if chain < 0 {
+				// The top-level initial evaluation runs before any chain
+				// starts; it can share the single-threaded evaluator.
+				return shared
+			}
+			ev, err := NewEvaluator(cat, spec)
+			if err != nil {
+				// NewEvaluator only fails on inputs already validated above.
+				panic(err)
+			}
+			return ev
+		},
+		NeighborMove: func(s siting, rng *rand.Rand) (siting, any) {
+			next, mv := proposeMove(s, rng, filtered, spec, minDCs, maxDCs, quantum)
+			return next, mv
+		},
+		EnergyMove: func(ctx any, s siting, move any) float64 {
+			mv, _ := move.(Move)
+			return energyOf(ctx.(*Evaluator), s, mv)
+		},
 		MaxIterations: opts.MaxIterations,
 		MaxStale:      opts.MaxIterations / 2,
 		Chains:        opts.Chains,
@@ -286,20 +387,19 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 	if math.IsInf(result.BestEnergy, 1) {
 		return nil, ErrInfeasible
 	}
-	ev := pool.Get().(*Evaluator)
-	best, err := ev.Evaluate(result.Best.candidates)
-	pool.Put(ev)
+	best, err := shared.Evaluate(result.Best.candidates)
 	if err != nil {
 		return nil, err
 	}
 	return best, nil
 }
 
-// buildInitialSiting tries a few natural starting points and returns the one
-// with the lowest energy, preferring feasible states so the annealing chains
-// start from somewhere useful.
+// buildInitialSiting tries a few natural starting points — plus the caller's
+// warm-start siting, when given — and returns the one with the lowest
+// energy, preferring feasible states so the annealing chains start from
+// somewhere useful.
 func buildInitialSiting(cat *location.Catalog, filtered []int, minDCs int, spec Spec,
-	energyOf func(siting) float64) siting {
+	warmStart []Candidate, energyOf func(siting) float64) siting {
 
 	share := spec.TotalCapacityKW / float64(minDCs)
 	cheapest := make([]Candidate, 0, minDCs)
@@ -327,6 +427,15 @@ func buildInitialSiting(cat *location.Catalog, filtered []int, minDCs int, spec 
 		if len(cands) >= minDCs {
 			options = append(options, siting{candidates: cands})
 		}
+	}
+
+	// The warm start (typically the adjacent sweep point's solution) goes
+	// last so it wins ties against the built-in options only when strictly
+	// better.
+	if len(warmStart) > 0 {
+		cands := make([]Candidate, len(warmStart))
+		copy(cands, warmStart)
+		options = append(options, siting{candidates: cands})
 	}
 
 	best := options[0]

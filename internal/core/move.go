@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// MoveKind names the neighbourhood move an annealing chain applied to reach
+// the siting it is about to evaluate.
+type MoveKind uint8
+
+// Move kinds.  MoveNone means "no move metadata": the evaluator treats every
+// site as potentially dirty and validates each one against its cache.
+const (
+	MoveNone MoveKind = iota
+	// MoveSwap replaced one selected site with an unselected one.
+	MoveSwap
+	// MoveAdd appended a new site (capacities rebalanced).
+	MoveAdd
+	// MoveRemove dropped a site (capacities rebalanced).
+	MoveRemove
+	// MoveGrow increased one site's capacity by the capacity quantum.
+	MoveGrow
+	// MoveShrink decreased one site's capacity by the capacity quantum.
+	MoveShrink
+)
+
+// String returns the move kind name.
+func (k MoveKind) String() string {
+	switch k {
+	case MoveNone:
+		return "none"
+	case MoveSwap:
+		return "swap"
+	case MoveAdd:
+		return "add"
+	case MoveRemove:
+		return "remove"
+	case MoveGrow:
+		return "grow"
+	case MoveShrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("move(%d)", uint8(k))
+	}
+}
+
+// Move is the structured metadata describing a single-site annealing move,
+// threaded from the heuristic's neighbourhood function through
+// internal/anneal into the evaluator's delta path.  Site is the site ID whose
+// per-site state the move touched (the new site for a swap or add, the
+// removed site for a remove, the resized site for grow/shrink); OldCap and
+// NewCap are that site's capacity before and after the move (OldCap is zero
+// for an add, NewCap zero for a remove).
+//
+// The evaluator uses the metadata as its invalidation hint: a site whose
+// capacity the move changed is re-run without further checks, while every
+// other site — including the capacity-preserving swap target — is validated
+// by content (capacity and schedule row) against the evaluator's per-site
+// cache, so a stale hint can cost time but never correctness.
+type Move struct {
+	Kind   MoveKind
+	Site   int
+	OldCap float64
+	NewCap float64
+}

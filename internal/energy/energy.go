@@ -261,6 +261,150 @@ func (bl *Balancer) Balance(in BalanceInput) (*BalanceResult, error) {
 	return r, nil
 }
 
+// BalanceTotals is the scalar outcome of a balance: the yearly totals the
+// cost model, the green-fraction constraint and the nearest-plant check need,
+// without any per-epoch series.
+type BalanceTotals struct {
+	DemandKWh         float64
+	GreenProducedKWh  float64
+	GreenUsedKWh      float64
+	BrownKWh          float64
+	NetChargedKWh     float64
+	NetDischargedKWh  float64
+	BattDischargedKWh float64
+	UnmetKWh          float64
+	// MaxBrownKW is the largest brown power draw of any epoch (the
+	// nearest-plant constraint is written against it).
+	MaxBrownKW float64
+}
+
+// GreenFraction mirrors BalanceResult.GreenFraction.
+func (t *BalanceTotals) GreenFraction() float64 {
+	if t.DemandKWh <= 0 {
+		return 1
+	}
+	green := t.GreenUsedKWh + t.BattDischargedKWh + t.NetDischargedKWh
+	f := green / t.DemandKWh
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Feasible mirrors BalanceResult.Feasible.
+func (t *BalanceTotals) Feasible() bool { return t.UnmetKWh < 1e-6 }
+
+// Totals runs the chronological greedy storage simulation exactly like
+// Balance but accumulates only the yearly totals, performing no heap
+// allocations and no per-epoch series writes.  The arithmetic is statement-
+// for-statement the same as Balance's, so the returned totals are
+// bit-identical to the ones a full Balance would report; hot loops that only
+// need totals (the plant-sizing bisection, cost-only evaluation) should call
+// this instead.
+func Totals(in BalanceInput) (BalanceTotals, error) {
+	n := len(in.GreenKW)
+	var r BalanceTotals
+	if len(in.DemandKW) != n || len(in.Weights) != n {
+		return r, ErrLengthMismatch
+	}
+	switch in.Mode {
+	case NoStorage, NetMetering, Batteries:
+	default:
+		return r, ErrBadMode
+	}
+	eff := in.BatteryEfficiency
+	if in.Mode == Batteries {
+		if eff <= 0 || eff > 1 {
+			return r, ErrBadEfficiency
+		}
+	} else {
+		eff = 1
+	}
+
+	battLevel := in.InitialBatteryKWh
+	if battLevel > in.BatteryCapacityKWh {
+		battLevel = in.BatteryCapacityKWh
+	}
+	netLevel := 0.0
+
+	for i := 0; i < n; i++ {
+		hours := in.Weights[i]
+		if hours <= 0 {
+			return BalanceTotals{}, fmt.Errorf("energy: epoch %d has non-positive weight %v", i, hours)
+		}
+		green := nonNegative(in.GreenKW[i])
+		demand := nonNegative(in.DemandKW[i])
+		r.DemandKWh += demand * hours
+		r.GreenProducedKWh += green * hours
+
+		// 1. Use green production directly.
+		direct := green
+		if direct > demand {
+			direct = demand
+		}
+		r.GreenUsedKWh += direct * hours
+		surplus := green - direct
+		deficit := demand - direct
+
+		// 2. Store surplus.
+		switch in.Mode {
+		case Batteries:
+			if surplus > 0 && battLevel < in.BatteryCapacityKWh {
+				room := in.BatteryCapacityKWh - battLevel
+				chargePow := surplus
+				if chargePow*eff*hours > room {
+					chargePow = room / (eff * hours)
+				}
+				battLevel += chargePow * eff * hours
+			}
+		case NetMetering:
+			if surplus > 0 {
+				netLevel += surplus * hours
+				r.NetChargedKWh += surplus * hours
+			}
+		case NoStorage:
+			// Surplus is curtailed.
+		}
+
+		// 3. Cover the deficit: storage first, then brown power.
+		if deficit > 0 {
+			switch in.Mode {
+			case Batteries:
+				dischargePow := deficit
+				if dischargePow*hours > battLevel {
+					dischargePow = battLevel / hours
+				}
+				battLevel -= dischargePow * hours
+				r.BattDischargedKWh += dischargePow * hours
+				deficit -= dischargePow
+			case NetMetering:
+				dischargePow := deficit
+				if dischargePow*hours > netLevel {
+					dischargePow = netLevel / hours
+				}
+				netLevel -= dischargePow * hours
+				r.NetDischargedKWh += dischargePow * hours
+				deficit -= dischargePow
+			}
+		}
+		if deficit > 0 {
+			brown := deficit
+			if in.MaxBrownKW > 0 && brown > in.MaxBrownKW {
+				brown = in.MaxBrownKW
+			}
+			if brown > r.MaxBrownKW {
+				r.MaxBrownKW = brown
+			}
+			r.BrownKWh += brown * hours
+			deficit -= brown
+		}
+		if deficit > 1e-12 {
+			r.UnmetKWh += deficit * hours
+		}
+	}
+	return r, nil
+}
+
 // RequiredPlantScale returns the multiplicative factor by which a green
 // plant's capacity must be scaled so that the balance reaches the target
 // green fraction, using bisection over scale.  greenPerKW is the per-epoch

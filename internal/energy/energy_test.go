@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -354,5 +355,93 @@ func TestStorageModeString(t *testing.T) {
 	}
 	if StorageMode(42).String() == "" {
 		t.Error("unknown mode should still have a name")
+	}
+}
+
+// TestTotalsMatchesBalanceBitwise pins the contract Totals documents: its
+// scalar accumulation must stay statement-for-statement identical to the
+// series-producing Balance, so every total (and the max brown draw) agrees
+// bit-for-bit across randomized horizons, storage modes and battery
+// parameters.  A future edit to one loop that is not mirrored in the other
+// fails here immediately.
+func TestTotalsMatchesBalanceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var bl Balancer
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(96)
+		in := BalanceInput{
+			GreenKW:  make([]float64, n),
+			DemandKW: make([]float64, n),
+			Weights:  make([]float64, n),
+			Mode:     StorageMode(1 + rng.Intn(3)),
+		}
+		scale := math.Pow(10, float64(rng.Intn(5)-1))
+		for i := 0; i < n; i++ {
+			in.GreenKW[i] = rng.Float64() * scale
+			in.DemandKW[i] = rng.Float64() * scale
+			in.Weights[i] = 1 + float64(rng.Intn(24))
+			if rng.Intn(12) == 0 {
+				in.GreenKW[i] = -in.GreenKW[i] // exercise the nonNegative clamp
+			}
+		}
+		if in.Mode == Batteries {
+			in.BatteryCapacityKWh = rng.Float64() * scale * 10
+			in.BatteryEfficiency = 0.5 + rng.Float64()*0.5
+			in.InitialBatteryKWh = rng.Float64() * scale * 20
+		}
+		if rng.Intn(2) == 0 {
+			in.MaxBrownKW = rng.Float64() * scale
+		}
+
+		res, err := bl.Balance(in)
+		if err != nil {
+			t.Fatalf("trial %d: Balance: %v", trial, err)
+		}
+		tot, err := Totals(in)
+		if err != nil {
+			t.Fatalf("trial %d: Totals: %v", trial, err)
+		}
+		maxBrown := 0.0
+		for _, b := range res.BrownKW {
+			if b > maxBrown {
+				maxBrown = b
+			}
+		}
+		want := BalanceTotals{
+			DemandKWh:         res.DemandKWh,
+			GreenProducedKWh:  res.GreenProducedKWh,
+			GreenUsedKWh:      res.GreenUsedKWh,
+			BrownKWh:          res.BrownKWh,
+			NetChargedKWh:     res.NetChargedKWh,
+			NetDischargedKWh:  res.NetDischargedKWh,
+			BattDischargedKWh: res.BattDischargedKWh,
+			UnmetKWh:          res.UnmetKWh,
+			MaxBrownKW:        maxBrown,
+		}
+		if tot != want {
+			t.Fatalf("trial %d (mode %v, n=%d): Totals %+v != Balance totals %+v", trial, in.Mode, n, tot, want)
+		}
+		if tot.GreenFraction() != res.GreenFraction() {
+			t.Fatalf("trial %d: green fractions differ: %v vs %v", trial, tot.GreenFraction(), res.GreenFraction())
+		}
+		if tot.Feasible() != res.Feasible() {
+			t.Fatalf("trial %d: feasibility differs", trial)
+		}
+	}
+
+	// Error paths must match too.
+	if _, err := Totals(BalanceInput{GreenKW: []float64{1}, DemandKW: []float64{1}, Weights: []float64{1, 2}}); err != ErrLengthMismatch {
+		t.Errorf("length mismatch: got %v", err)
+	}
+	if _, err := Totals(BalanceInput{GreenKW: []float64{1}, DemandKW: []float64{1}, Weights: []float64{1}}); err != ErrBadMode {
+		t.Errorf("bad mode: got %v", err)
+	}
+	if _, err := Totals(BalanceInput{GreenKW: []float64{1}, DemandKW: []float64{1}, Weights: []float64{1},
+		Mode: Batteries, BatteryEfficiency: 2}); err != ErrBadEfficiency {
+		t.Errorf("bad efficiency: got %v", err)
+	}
+	if _, err := Totals(BalanceInput{GreenKW: []float64{1}, DemandKW: []float64{1}, Weights: []float64{0},
+		Mode: NoStorage}); err == nil {
+		t.Error("non-positive weight should error")
 	}
 }

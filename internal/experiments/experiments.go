@@ -79,17 +79,20 @@ type evaluatorPool struct {
 func newEvaluatorPool(cat *location.Catalog, capacityKW float64, spec core.Spec) (*evaluatorPool, error) {
 	// Build the first evaluator eagerly so configuration errors surface
 	// here; the pool's New can then only fail on conditions already ruled
-	// out.
+	// out.  Per-site memoization is off: these probes price each location
+	// exactly once, so cache entries could never be hit.
 	first, err := core.NewSingleSiteEvaluator(cat, capacityKW, spec)
 	if err != nil {
 		return nil, err
 	}
+	first.DisableCache()
 	p := &evaluatorPool{capacityKW: capacityKW}
 	p.pool.New = func() any {
 		ev, err := core.NewSingleSiteEvaluator(cat, capacityKW, spec)
 		if err != nil {
 			panic(err)
 		}
+		ev.DisableCache()
 		return ev
 	}
 	p.pool.Put(first)
@@ -166,6 +169,13 @@ type Config struct {
 	Budget Budget
 	// Seed fixes the synthetic catalog.
 	Seed int64
+	// DisableWarmStart turns off warm-started sweeps.  By default each
+	// green-fraction sweep point seeds its annealing search with the
+	// previous point's solution (adjacent points have similar optimal
+	// sitings, so the warm start cuts sweep wall-clock); disabling it makes
+	// every point solve from the built-in initial sitings only.  Either way
+	// the sweep is deterministic for a fixed Seed.
+	DisableWarmStart bool
 }
 
 // Suite owns the catalog and caches intermediate results shared between
@@ -495,9 +505,10 @@ func (s *Suite) solveSweep(storage energy.StorageMode, sources core.SourceMix) (
 }
 
 // solveSweeps computes (and caches) the sweep for several source mixes at
-// once.  All uncached (mix, green-level) points form one flat task list for
-// a single worker pool, so the GOMAXPROCS cap holds even when a figure
-// requests every mix together (no nested parallelFor layers).  Each task
+// once.  The mixes fan out across the worker pool; within one mix the
+// green-fraction points run in ascending order so each point's annealing can
+// warm-start from the previous point's siting (adjacent points have similar
+// optimal sitings — disable with Config.DisableWarmStart).  Each point
 // writes only its own indexed slot, so the resulting series are
 // deterministic regardless of which worker finishes first.
 func (s *Suite) solveSweeps(storage energy.StorageMode, mixes []core.SourceMix) ([][]sweepPoint, error) {
@@ -523,45 +534,53 @@ func (s *Suite) solveSweeps(storage energy.StorageMode, mixes []core.SourceMix) 
 	if err != nil {
 		return nil, err
 	}
-	opts := s.cfg.solveOptions()
-	opts.Candidates = filtered
+	baseOpts := s.cfg.solveOptions()
+	baseOpts.Candidates = filtered
 	// The worker pool is the parallelism; chains inside each fanned-out
 	// Solve would oversubscribe the cap, and sequential chains return a
 	// bit-identical solution anyway.
-	opts.Sequential = true
+	baseOpts.Sequential = true
 	levels := s.cfg.greenLevels()
 
-	type task struct{ mix, level int }
-	var tasks []task
+	var todo []int
 	for i := range mixes {
 		if out[i] != nil {
 			continue
 		}
 		out[i] = make([]sweepPoint, len(levels))
-		for l := range levels {
-			tasks = append(tasks, task{mix: i, level: l})
-		}
+		todo = append(todo, i)
 	}
-	parallelFor(len(tasks), func(k int) {
-		t := tasks[k]
-		green := levels[t.level]
-		spec := s.baseSpec()
-		spec.MinGreenFraction = green
-		spec.Storage = storage
-		spec.Sources = mixes[t.mix]
-		sol, err := core.Solve(s.catalog, spec, opts)
-		if err != nil {
-			// Some extreme points (100 % green, no storage, single source)
-			// can be genuinely unreachable on the Quick catalog; record the
-			// point as missing rather than aborting the whole figure.
-			out[t.mix][t.level] = sweepPoint{greenPct: green * 100, monthlyUSD: -1, capacityKW: -1}
-			return
-		}
-		out[t.mix][t.level] = sweepPoint{
-			greenPct:   green * 100,
-			monthlyUSD: sol.TotalMonthlyUSD,
-			capacityKW: sol.ProvisionedCapacityKW,
-			solution:   sol,
+	parallelFor(len(todo), func(k int) {
+		mixIdx := todo[k]
+		var warm []core.Candidate
+		for l, green := range levels {
+			spec := s.baseSpec()
+			spec.MinGreenFraction = green
+			spec.Storage = storage
+			spec.Sources = mixes[mixIdx]
+			opts := baseOpts
+			if !s.cfg.DisableWarmStart {
+				opts.InitialCandidates = warm
+			}
+			sol, err := core.Solve(s.catalog, spec, opts)
+			if err != nil {
+				// Some extreme points (100 % green, no storage, single
+				// source) can be genuinely unreachable on the Quick catalog;
+				// record the point as missing rather than aborting the whole
+				// figure.
+				out[mixIdx][l] = sweepPoint{greenPct: green * 100, monthlyUSD: -1, capacityKW: -1}
+				continue
+			}
+			out[mixIdx][l] = sweepPoint{
+				greenPct:   green * 100,
+				monthlyUSD: sol.TotalMonthlyUSD,
+				capacityKW: sol.ProvisionedCapacityKW,
+				solution:   sol,
+			}
+			warm = warm[:0]
+			for _, site := range sol.Sites {
+				warm = append(warm, core.Candidate{SiteID: site.Site.ID, CapacityKW: site.Provision.CapacityKW})
+			}
 		}
 	})
 	s.mu.Lock()

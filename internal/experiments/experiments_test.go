@@ -4,6 +4,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"greencloud/internal/core"
+	"greencloud/internal/energy"
 )
 
 // The full experiment suite is exercised by the benchmarks in the repository
@@ -105,6 +108,44 @@ func TestUnknownExperiment(t *testing.T) {
 	for _, id := range IDs() {
 		if id == "" {
 			t.Error("empty experiment ID")
+		}
+	}
+}
+
+func TestSweepWarmStartFlag(t *testing.T) {
+	// The warm-started sweep and the cold sweep must both produce a full
+	// series, and the warm-started sweep must stay deterministic (two suites
+	// with the same seed agree point for point).
+	if testing.Short() {
+		t.Skip("sweeps solve several networks; skipped in -short mode")
+	}
+	runSweep := func(disable bool) []sweepPoint {
+		s, err := NewSuite(Config{Budget: Quick, Seed: 1, DisableWarmStart: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := s.solveSweep(energy.NetMetering, core.SolarAndWind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	warm := runSweep(false)
+	warmAgain := runSweep(false)
+	cold := runSweep(true)
+	if len(warm) != len(cold) || len(warm) == 0 {
+		t.Fatalf("sweep lengths differ: warm %d, cold %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].greenPct != cold[i].greenPct {
+			t.Errorf("point %d: green levels diverge (%v vs %v)", i, warm[i].greenPct, cold[i].greenPct)
+		}
+		if warm[i].monthlyUSD <= 0 {
+			t.Errorf("point %d: warm-started sweep produced no solution", i)
+		}
+		if warm[i].monthlyUSD != warmAgain[i].monthlyUSD {
+			t.Errorf("point %d: warm-started sweep is not deterministic (%v vs %v)",
+				i, warm[i].monthlyUSD, warmAgain[i].monthlyUSD)
 		}
 	}
 }

@@ -455,14 +455,22 @@ func (s *standard) simplex() (Status, []float64, float64) {
 	}
 
 	if hasArtificial {
-		// Phase 1: minimize the sum of artificial variables.
+		// Phase 1: minimize the sum of artificial variables.  Artificial
+		// columns start as basic unit vectors and, once driven out, are never
+		// allowed to re-enter, so pricing and pivoting can stop at nTotal in
+		// phase 1 too — the artificial block's tableau entries go stale but
+		// are never read again (only the basis bookkeeping references the
+		// column indices).  Restricting the entering candidates this way is
+		// the classic "drop departed artificials" rule: any feasible point
+		// has every artificial at zero, so the restricted phase-1 optimum
+		// still reaches zero exactly when the problem is feasible.
 		phase1Cost := make([]float64, totalCols)
 		for i := range s.artificial {
 			if s.artificial[i] >= 0 {
 				phase1Cost[s.artificial[i]] = 1
 			}
 		}
-		status, obj := runSimplex(tab, rhs, basis, phase1Cost, totalCols)
+		status, obj := runSimplex(tab, rhs, basis, phase1Cost, s.nTotal)
 		if status != Optimal {
 			return Infeasible, nil, 0
 		}
@@ -477,7 +485,7 @@ func (s *standard) simplex() (Status, []float64, float64) {
 			pivoted := false
 			for j := 0; j < s.nTotal; j++ {
 				if math.Abs(tab[i][j]) > pivotEpsilon {
-					pivot(tab, rhs, basis, i, j, totalCols)
+					pivot(tab, rhs, basis, i, j, s.nTotal)
 					pivoted = true
 					break
 				}
@@ -512,8 +520,21 @@ func isArtificialCol(s *standard, col int) bool { return col >= s.nTotal }
 // runSimplex performs primal simplex iterations on the tableau in place with
 // the given objective, returning the status and the objective value.  Only
 // the first nPrice columns are priced, eligible to enter, and updated by
-// pivots; columns beyond nPrice (phase 2's artificial block) go stale and
-// must not be read by the caller afterwards.
+// pivots; columns beyond nPrice (the artificial block) go stale and must not
+// be read by the caller afterwards.
+//
+// The reduced-cost row is maintained incrementally: a pivot on (r, q)
+// updates it in O(nPrice) (red'_j = red_j − red_q · tab'[r][j], the same
+// elimination the tableau rows undergo) instead of recomputing the simplex
+// multipliers against every row, which halves the per-iteration work on
+// constraint-heavy problems like the scheduler's partition LP.  The
+// maintained row only nominates the entering column; before pivoting, the
+// nominee's reduced cost is recomputed exactly in O(m), and a nominee whose
+// exact reduced cost is not negative exposes drift, triggering a full exact
+// rebuild and a re-pick.  Every pivot therefore enters a genuinely improving
+// column — drift can cost a recomputation, never a junk pivot — and the row
+// is also rebuilt every refreshEvery pivots, whenever Bland's anti-cycling
+// rule is active, and before declaring optimality.
 func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPrice int) (Status, float64) {
 	m := len(tab)
 	if m == 0 {
@@ -535,32 +556,28 @@ func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPr
 	// Bland's rule (which cannot cycle) once the iteration count suggests
 	// stalling.
 	blandAfter := 4 * (m + n)
+	const refreshEvery = 64
 
 	reduced := make([]float64, nPrice)
-	y := make([]float64, m)
 	// basic[j] marks columns currently in the basis, maintained across
 	// pivots so entering-column selection does not rescan the basis per
 	// column (an O(m·n) cost per iteration on large tableaus).  Sized to
-	// the full width because phase-2 bases can still hold artificial
-	// columns pinned at zero by degenerate rows.
+	// the full width because bases can still hold artificial columns pinned
+	// at zero by degenerate rows.
 	basic := make([]bool, n)
 	for _, b := range basis {
 		basic[b] = true
 	}
 
-	for iter := 0; iter < maxIter; iter++ {
-		// Compute the simplex multipliers implicitly: because the tableau is
-		// kept in canonical form (basis columns are unit vectors), the
-		// reduced cost of column j is cost[j] − Σ_i cost[basis[i]]·tab[i][j].
-		// Accumulating row-by-row keeps the memory access sequential (the
-		// tableau is row-major); the result is bit-identical to the per-
-		// column loop because the rows are visited in the same order.
-		for i := 0; i < m; i++ {
-			y[i] = cost[basis[i]]
-		}
+	// recompute rebuilds the reduced-cost row exactly: because the tableau
+	// is kept in canonical form (basis columns are unit vectors), the
+	// reduced cost of column j is cost[j] − Σ_i cost[basis[i]]·tab[i][j].
+	// Accumulating row-by-row keeps the memory access sequential (the
+	// tableau is row-major).
+	recompute := func() {
 		copy(reduced, cost[:nPrice])
 		for i := 0; i < m; i++ {
-			yi := y[i]
+			yi := cost[basis[i]]
 			if yi == 0 {
 				continue
 			}
@@ -571,9 +588,13 @@ func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPr
 				}
 			}
 		}
+	}
+	recompute()
+	stale := 0
+
+	pickEntering := func(useBland bool) int {
 		entering := -1
 		best := -epsilon
-		useBland := iter > blandAfter
 		for j := 0; j < nPrice; j++ {
 			if basic[j] {
 				continue
@@ -581,13 +602,58 @@ func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPr
 			r := reduced[j]
 			if useBland {
 				if r < -epsilon {
-					entering = j
-					break
+					return j
 				}
 			} else if r < best {
 				best = r
 				entering = j
 			}
+		}
+		return entering
+	}
+
+	// exactReduced recomputes one column's reduced cost from scratch.
+	exactReduced := func(j int) float64 {
+		r := cost[j]
+		for i := 0; i < m; i++ {
+			yi := cost[basis[i]]
+			if yi == 0 {
+				continue
+			}
+			if a := tab[i][j]; a != 0 {
+				r -= yi * a
+			}
+		}
+		return r
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		useBland := iter > blandAfter
+		if stale >= refreshEvery || (useBland && stale > 0) {
+			recompute()
+			stale = 0
+		}
+		entering := pickEntering(useBland)
+		if entering >= 0 && stale > 0 {
+			// Verify the nominee exactly; drift in the maintained row may
+			// have promoted a non-improving column, and pivoting on one can
+			// wander off the optimal path or amplify rounding error.
+			exact := exactReduced(entering)
+			if exact < -epsilon {
+				reduced[entering] = exact
+			} else {
+				recompute()
+				stale = 0
+				entering = pickEntering(useBland)
+			}
+		}
+		if entering == -1 && stale > 0 {
+			// The maintained row says optimal; confirm against an exact
+			// recomputation before declaring victory, so drift can delay
+			// convergence but never fake it.
+			recompute()
+			stale = 0
+			entering = pickEntering(useBland)
 		}
 		if entering == -1 {
 			// Optimal: compute objective.
@@ -617,6 +683,19 @@ func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPr
 		basic[basis[leaving]] = false
 		basic[entering] = true
 		pivot(tab, rhs, basis, leaving, entering, nPrice)
+		// Apply the same elimination to the reduced-cost row, using the
+		// already-normalized pivot row.
+		rq := reduced[entering]
+		if rq != 0 {
+			row := tab[leaving][:nPrice]
+			for j, v := range row {
+				if v != 0 {
+					reduced[j] -= rq * v
+				}
+			}
+		}
+		reduced[entering] = 0
+		stale++
 	}
 	// Iteration limit: report unbounded-like numeric trouble as infeasible
 	// conservatively; callers treat any non-optimal status as failure.

@@ -392,3 +392,124 @@ func TestModeratelySizedLP(t *testing.T) {
 		t.Errorf("objective %v should be non-negative", sol.Objective)
 	}
 }
+
+// TestRandomizedSolutionsAreFeasible is the pricing-drift regression: over
+// randomized feasible LPs (with the badly scaled, bound-row-heavy shape of
+// the provisioning models), every solution the solver reports as Optimal
+// must actually satisfy all constraints and variable bounds, and must be at
+// least as good as the known feasible point the instance was built around.
+// A drifting reduced-cost row that admits junk pivots fails this quickly.
+func TestRandomizedSolutionsAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 2 + rng.Intn(12)
+		nCons := 1 + rng.Intn(16)
+		scale := math.Pow(10, float64(rng.Intn(7)-2)) // 1e-2 .. 1e4
+
+		prob := NewProblem(Minimize)
+		vars := make([]Var, nVars)
+		ubs := make([]float64, nVars)
+		costs := make([]float64, nVars)
+		x0 := make([]float64, nVars) // known feasible point
+		for j := 0; j < nVars; j++ {
+			ubs[j] = Infinity
+			if rng.Intn(2) == 0 {
+				ubs[j] = scale * (0.5 + rng.Float64()*2)
+			}
+			costs[j] = scale * (rng.Float64()*2 - 0.5)
+			var err error
+			vars[j], err = prob.AddVariable("x", 0, ubs[j], costs[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			hi := ubs[j]
+			if math.IsInf(hi, 1) {
+				hi = scale * 2
+			}
+			x0[j] = rng.Float64() * hi
+		}
+		rows := make([][]float64, nCons)
+		ops := make([]Op, nCons)
+		rhss := make([]float64, nCons)
+		for i := 0; i < nCons; i++ {
+			rows[i] = make([]float64, nVars)
+			terms := make([]Term, 0, nVars)
+			dot := 0.0
+			for j := 0; j < nVars; j++ {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				c := rng.Float64()*4 - 2
+				rows[i][j] = c
+				dot += c * x0[j]
+				terms = append(terms, Term{Var: vars[j], Coeff: c})
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// Choose the operator and an rhs that keeps x0 feasible, so the
+			// instance is feasible by construction.
+			switch ops[i] = Op(1 + rng.Intn(3)); ops[i] {
+			case LE:
+				rhss[i] = dot + rng.Float64()*scale
+			case GE:
+				rhss[i] = dot - rng.Float64()*scale
+			case EQ:
+				rhss[i] = dot
+			}
+			if err := prob.AddConstraint("c", ops[i], rhss[i], terms...); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		sol, err := prob.Solve()
+		if err != nil {
+			// Unbounded is possible (free improving directions); infeasible
+			// is not, because x0 satisfies everything by construction.
+			if errors.Is(err, ErrUnbounded) {
+				continue
+			}
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		tol := 1e-6 * math.Max(1, scale)
+		objX0 := 0.0
+		for j := 0; j < nVars; j++ {
+			v := sol.Value(vars[j])
+			objX0 += costs[j] * x0[j]
+			if v < -tol || v > ubs[j]+tol {
+				t.Fatalf("trial %d: x[%d]=%v violates bounds [0,%v]", trial, j, v, ubs[j])
+			}
+		}
+		for i := 0; i < nCons; i++ {
+			dot := 0.0
+			any := false
+			for j := 0; j < nVars; j++ {
+				if rows[i][j] != 0 {
+					dot += rows[i][j] * sol.Value(vars[j])
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			rowTol := tol * 10
+			switch ops[i] {
+			case LE:
+				if dot > rhss[i]+rowTol {
+					t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, dot, rhss[i])
+				}
+			case GE:
+				if dot < rhss[i]-rowTol {
+					t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, i, dot, rhss[i])
+				}
+			case EQ:
+				if math.Abs(dot-rhss[i]) > rowTol {
+					t.Fatalf("trial %d: constraint %d violated: %v != %v", trial, i, dot, rhss[i])
+				}
+			}
+		}
+		if sol.Objective > objX0+tol {
+			t.Fatalf("trial %d: objective %v worse than known feasible point %v", trial, sol.Objective, objX0)
+		}
+	}
+}

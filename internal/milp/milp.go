@@ -232,15 +232,20 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 			continue
 		}
 
-		// Find the most fractional integer variable.
+		// Find the most fractional integer variable.  Iterate in variable
+		// order (not map order) so ties break deterministically and node
+		// counts are reproducible run to run.
 		branchVar := lp.Var(-1)
 		worstFrac := opts.IntegralityTol
-		for v := range p.integers {
-			val := relax.Value(v)
+		for v := 0; v < len(p.lpProto.vars); v++ {
+			if !p.integers[lp.Var(v)] {
+				continue
+			}
+			val := relax.Value(lp.Var(v))
 			frac := math.Abs(val - math.Round(val))
 			if frac > worstFrac {
 				worstFrac = frac
-				branchVar = v
+				branchVar = lp.Var(v)
 			}
 		}
 
