@@ -5,6 +5,12 @@
 
 GO ?= go
 
+# pipefail so the bench target fails when `go test -bench` itself fails:
+# without it the pipeline's status is benchjson's, which would otherwise
+# happily snapshot whatever partial output preceded a crash.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
 .PHONY: ci vet build test bench-smoke bench
 
 ci: vet build test bench-smoke
@@ -18,11 +24,19 @@ build:
 test:
 	$(GO) test -race -timeout 2400s ./...
 
+# One-shot smoke of the two allocation-contract benchmarks: the cached
+# evaluator (EvaluateSteadyState) and the delta-move path (EvaluateDeltaMove)
+# both print allocs/op, and their 0 allocs/op guarantee is enforced by the
+# accompanying tests; running them here catches a benchmark-only breakage
+# (setup drift, catalog changes) in `make ci` instead of the full sweep.
 bench-smoke:
-	$(GO) test -bench=BenchmarkEvaluateSteadyState -benchtime=1x -run '^$$' .
+	$(GO) test -bench='^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove)$$' -benchtime=1x -run '^$$' .
 
 # Full benchmark sweep (regenerates every paper figure; slow).  The output
 # is snapshotted into BENCH_<date>.json so the performance trajectory is
 # tracked per PR; commit the snapshot alongside perf-relevant changes.
+# benchjson refuses to overwrite a same-day snapshot (it writes a -2/-3/…
+# suffixed sibling instead) and diffs against the latest committed snapshot,
+# failing the target when any benchmark regresses by more than 10% ns/op.
 bench:
-	$(GO) test -bench=. -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+	$(GO) test -bench=. -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json -baseline latest

@@ -1,12 +1,14 @@
 package greencloud_test
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
 	"greencloud/internal/core"
 	"greencloud/internal/experiments"
 	"greencloud/internal/location"
+	"greencloud/internal/series"
 )
 
 // suite is shared across benchmarks: the synthetic catalog and the cached
@@ -183,3 +185,90 @@ func BenchmarkSchedulerComputeTime(b *testing.B) { runExperiment(b, "sched-timin
 // BenchmarkHeuristicVsExactSmall compares the heuristic solver against the
 // exact MILP on a small instance (Section III-D).
 func BenchmarkHeuristicVsExactSmall(b *testing.B) { runExperiment(b, "heuristic-vs-exact") }
+
+// kernelEpochs is the row length of the series-kernel microbenchmarks: one
+// hourly year, the largest epoch grid the evaluator runs on.  The kernels
+// below are the hot inner loops of the schedule merge (WeightedSum), the
+// per-site stage (ScaledDrop, AddMul, DotWeighted) and the O(1) clean-site
+// revalidation (Digest); benchmarking them in isolation gives future
+// vectorization work a baseline that is not confounded by the pipeline
+// around them.
+const kernelEpochs = 8760
+
+func kernelRows(n int) (x, y, z, dst []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	z = make([]float64, n)
+	dst = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64() * 1000
+		y[i] = rng.Float64() * 1000
+		z[i] = 1 + rng.Float64()
+	}
+	return
+}
+
+// BenchmarkSeriesWeightedSum measures the schedule-merge/green-production
+// kernel dst = a·x + b·y over one row.
+func BenchmarkSeriesWeightedSum(b *testing.B) {
+	x, y, _, dst := kernelRows(kernelEpochs)
+	b.SetBytes(3 * 8 * kernelEpochs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series.WeightedSum(dst, 2.5, x, 0.75, y)
+	}
+}
+
+// BenchmarkSeriesAddMul measures the facility-demand kernel
+// dst = (x + y)·z over one row.
+func BenchmarkSeriesAddMul(b *testing.B) {
+	x, y, z, dst := kernelRows(kernelEpochs)
+	b.SetBytes(4 * 8 * kernelEpochs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series.AddMul(dst, x, y, z)
+	}
+}
+
+// BenchmarkSeriesDotWeighted measures the energy-balance totals kernel
+// Σ x·w over one row.
+func BenchmarkSeriesDotWeighted(b *testing.B) {
+	x, w, _, _ := kernelRows(kernelEpochs)
+	b.SetBytes(2 * 8 * kernelEpochs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += series.DotWeighted(x, w)
+	}
+	_ = sink
+}
+
+// BenchmarkSeriesScaledDrop measures the migration-overhead kernel over one
+// schedule row.
+func BenchmarkSeriesScaledDrop(b *testing.B) {
+	x, _, _, dst := kernelRows(kernelEpochs)
+	b.SetBytes(2 * 8 * kernelEpochs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series.ScaledDrop(dst, 0.5, x)
+	}
+}
+
+// BenchmarkSeriesDigest measures the schedule-row digest that backs the
+// delta evaluator's O(1) clean-site revalidation.
+func BenchmarkSeriesDigest(b *testing.B) {
+	x, _, _, _ := kernelRows(kernelEpochs)
+	b.SetBytes(8 * kernelEpochs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= series.Digest(x)
+	}
+	_ = sink
+}

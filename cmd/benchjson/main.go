@@ -2,6 +2,20 @@
 // snapshot, echoing the raw output through so it remains visible.  The
 // Makefile's bench target pipes the full benchmark suite into it to produce
 // the per-PR BENCH_<date>.json performance-trajectory snapshots.
+//
+// Two guard rails keep the trajectory honest:
+//
+//   - the snapshot never overwrites an existing file: when the -out target
+//     already exists (a second bench run on the same day), the snapshot is
+//     written to a -2/-3/… suffixed sibling instead;
+//   - with -baseline, the fresh snapshot is diffed against a previous one
+//     (the literal name "latest" resolves to the newest existing
+//     BENCH_*.json next to -out) and the process exits non-zero when any
+//     benchmark regressed by more than 10% ns/op.  Benchmarks that ran
+//     fewer than 10 iterations in either snapshot are reported but never
+//     gated — a one-shot measurement swings past 10% on machine and code
+//     layout noise alone — and a failed benchmark run is never
+//     snapshotted at all, so a crash cannot poison the baseline chain.
 package main
 
 import (
@@ -10,6 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,8 +50,21 @@ type Snapshot struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
+// regressionThreshold is the ns/op slowdown above which the baseline diff
+// fails the run.
+const regressionThreshold = 0.10
+
+// minGateIterations is the smallest benchmark iteration count (in both
+// snapshots) the regression gate trusts: a one-shot or handful-of-runs
+// measurement of a hundreds-of-ms benchmark swings well beyond 10% from
+// code layout and machine noise alone, so those deltas are printed but
+// never fail the run.
+const minGateIterations = 10
+
 func main() {
 	out := flag.String("out", "", "path of the JSON snapshot to write (required)")
+	baseline := flag.String("baseline", "",
+		"previous snapshot to diff against, or \"latest\" for the newest BENCH_*.json next to -out; exits non-zero on >10% ns/op regressions")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -57,7 +88,8 @@ func main() {
 			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "cpu: "):
 			snap.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "--- FAIL"), strings.HasPrefix(line, "FAIL"):
+		case strings.HasPrefix(line, "--- FAIL"), strings.HasPrefix(line, "FAIL"),
+			strings.HasPrefix(line, "panic:"):
 			failed = true
 		case strings.HasPrefix(line, "Benchmark"):
 			name, res, ok := parseBenchLine(line)
@@ -70,23 +102,233 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
+	if failed {
+		// A failed or partial run must never become a snapshot: it would be
+		// picked up as the "latest" baseline and silently shrink the set of
+		// gated benchmarks to whatever completed before the failure.
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark run failed; snapshot not written")
+		os.Exit(1)
+	}
 	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen; snapshot not written")
 		os.Exit(1)
+	}
+
+	// Resolve the baseline before writing, so "latest" can never pick up
+	// the snapshot this very run produces.
+	basePath := ""
+	if *baseline != "" {
+		basePath = resolveBaseline(*baseline, *out)
+	}
+
+	target, err := unusedSnapshotPath(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if target != *out {
+		fmt.Fprintf(os.Stderr, "benchjson: %s already exists; writing %s instead\n", *out, target)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+	if err := os.WriteFile(target, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", target, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
-	if failed {
-		os.Exit(1)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), target)
+
+	regressed := false
+	if basePath != "" {
+		regressed, err = diffAgainst(basePath, snap)
+		if err != nil {
+			if *baseline == "latest" {
+				// An auto-resolved baseline that turns out unreadable (e.g.
+				// git-tracked but deleted from the working tree) must not
+				// fail a sweep that succeeded and is already snapshotted;
+				// like a missing first-run baseline, it only skips the diff.
+				fmt.Fprintf(os.Stderr, "benchjson: baseline: %v; skipping diff\n", err)
+				regressed = false
+			} else {
+				// An explicitly named baseline the user pinned is different:
+				// silently skipping would green-light a run whose regression
+				// gate never ran.  The snapshot is already written, so only
+				// the gate fails.
+				fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
+	if regressed {
+		os.Exit(3)
+	}
+}
+
+// unusedSnapshotPath returns path if nothing sits there, or the first free
+// -2/-3/… suffixed sibling otherwise, so a same-day re-run never silently
+// overwrites a committed snapshot.
+func unusedSnapshotPath(path string) (string, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return path, nil
+	}
+	ext := filepath.Ext(path)
+	stem := strings.TrimSuffix(path, ext)
+	for i := 2; i < 100; i++ {
+		cand := fmt.Sprintf("%s-%d%s", stem, i, ext)
+		if _, err := os.Stat(cand); os.IsNotExist(err) {
+			return cand, nil
+		}
+	}
+	return "", fmt.Errorf("no free suffix for %s after 99 attempts", path)
+}
+
+// snapshotName matches BENCH_<date>.json and BENCH_<date>-<k>.json,
+// capturing the date and the optional same-day run suffix.
+var snapshotName = regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})(?:-(\d+))?\.json$`)
+
+// resolveBaseline turns the -baseline argument into a concrete path.  The
+// literal "latest" picks the newest snapshot by (date, same-day suffix)
+// among the git-committed BENCH_*.json files next to -out — committed, not
+// merely on disk, so inside a git checkout a regressed snapshot a failing
+// `make bench` left behind can never quietly become the next run's
+// baseline and absorb its own regression.  Outside a git checkout (or
+// without git on PATH) it falls back, best-effort, to every snapshot on
+// disk — that fallback does not carry the committed-only guarantee.  An
+// empty string comes back when there is nothing to diff against (first
+// ever run), which disables the diff rather than failing it.
+func resolveBaseline(arg, out string) string {
+	if arg != "latest" {
+		return arg
+	}
+	dir := filepath.Dir(out)
+	names, committed := committedSnapshots(dir)
+	if !committed {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			// Never fail the run here: the expensive sweep succeeded and its
+			// snapshot must still be written; only the diff is skipped.
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v; skipping diff\n", err)
+			return ""
+		}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: baseline: not a git checkout; considering every snapshot on disk")
+	}
+	type cand struct {
+		path string
+		date string
+		run  int
+	}
+	var best *cand
+	for _, name := range names {
+		m := snapshotName.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		c := cand{path: filepath.Join(dir, name), date: m[1], run: 1}
+		if m[2] != "" {
+			c.run, _ = strconv.Atoi(m[2])
+		}
+		if best == nil || c.date > best.date || (c.date == best.date && c.run > best.run) {
+			best = &c
+		}
+	}
+	if best == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline: no existing BENCH_*.json; skipping diff")
+		return ""
+	}
+	return best.path
+}
+
+// committedSnapshots lists the BENCH_*.json files git tracks in dir.  The
+// second return is false when dir is not inside a git checkout (or git is
+// unavailable), in which case the caller falls back to a directory scan.
+func committedSnapshots(dir string) ([]string, bool) {
+	out, err := exec.Command("git", "-C", dir, "ls-files", "--", "BENCH_*.json").Output()
+	if err != nil {
+		return nil, false
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			names = append(names, filepath.Base(line))
+		}
+	}
+	return names, true
+}
+
+// diffAgainst prints the per-benchmark ns/op deltas of snap versus the
+// baseline file and reports whether any shared benchmark slowed down by
+// more than the regression threshold.
+func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("parse %s: %w", path, err)
+	}
+
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(os.Stderr, "benchjson: vs %s (%s):\n", path, base.Date)
+	var regressions []string
+	for _, name := range names {
+		oldRes, newRes := base.Benchmarks[name], snap.Benchmarks[name]
+		old, now := oldRes.NsPerOp, newRes.NsPerOp
+		if old <= 0 {
+			continue
+		}
+		delta := (now - old) / old
+		marker := ""
+		if delta > regressionThreshold {
+			if oldRes.N < minGateIterations || newRes.N < minGateIterations {
+				marker = fmt.Sprintf("  (not gated: n=%d/%d < %d, too noisy)",
+					oldRes.N, newRes.N, minGateIterations)
+			} else {
+				marker = "  <-- REGRESSION"
+				regressions = append(regressions, name)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  %-32s %14.0f -> %14.0f ns/op  %+6.1f%%%s\n",
+			name, old, now, 100*delta, marker)
+	}
+	var added, gone []string
+	for name := range snap.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := snap.Benchmarks[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(gone)
+	for _, name := range added {
+		fmt.Fprintf(os.Stderr, "  %-32s (new)\n", name)
+	}
+	for _, name := range gone {
+		fmt.Fprintf(os.Stderr, "  %-32s (gone)\n", name)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed >%0.f%% ns/op: %s\n",
+			len(regressions), 100*regressionThreshold, strings.Join(regressions, ", "))
+		return true, nil
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no ns/op regressions >%0.f%%\n", 100*regressionThreshold)
+	return false, nil
 }
 
 // parseBenchLine parses a line like

@@ -18,6 +18,31 @@
 // simulated annealing, the within-datacenter VM manager and the emulated
 // wide-area network — is implemented from scratch under internal/.
 //
+// # The series layer: epoch-major blocks and fused kernels
+//
+// All dense per-epoch arithmetic lives in internal/series: an epoch-major
+// Block type (rows × epochs float64, contiguous, row r at
+// data[r·E, (r+1)·E)) plus a small set of fused element-wise kernels
+// (WeightedSum, AddMul, AXPY, FMA, Scale, ClampMin/Max, DotWeighted, Sum,
+// ScaledDrop, Zero and a per-row rolling Digest).  location.Profiles hands
+// out its α/β/PUE matrices as read-only Block rows; core.Evaluator's
+// scratch matrices (compute, migration, demand, green availability) are
+// single-owner scratch Blocks; internal/energy's balancer and
+// internal/sched's per-slot load math run through the same kernels.  One
+// loop dialect instead of four means every hot path improves at once when
+// a kernel does.
+//
+// Aliasing/mutability contract: Block.Row clips the returned slice's
+// capacity at the row boundary, so writes through one row can never reach
+// a neighbour; shared Blocks (Profiles) are read-only after construction,
+// scratch Blocks are owned by one goroutine and fully overwritten before
+// they are read.  The kernels are written in the bounds-check-elimination
+// style (trip count from dst, every operand pinned with s = s[:n] before
+// the loop, no interface indirection) and each is pinned bit-identical to
+// a naive scalar reference by the differential suite in
+// internal/series/series_test.go; the package comment of internal/series
+// documents how to add a kernel without breaking either property.
+//
 // # The evaluator hot path: delta evaluation
 //
 // The heuristic solver evaluates Chains × MaxIterations candidate sitings
@@ -49,12 +74,16 @@
 // (core.Move{Kind, Site, OldCap, NewCap}) from the neighbourhood function
 // through internal/anneal's move-aware hooks into the evaluator.  The moved
 // site is always re-run; every other site is revalidated by content — its
-// cached result is reused iff its capacity and schedule row are bitwise
-// identical to the cached key.  Content validation makes the cache
-// self-correcting: a missing or wrong hint costs a recomputation, never
-// correctness, and a delta evaluation is bit-identical to evaluating the
-// same candidates from scratch (TestDeltaEvaluationMatchesFull pins this
-// over randomized move sequences).
+// cached result is reused iff its capacity matches and its schedule-row
+// digest (series.Digest, computed once per merge) matches the cached key,
+// an O(1) check per clean site in place of the old O(epochs) full-row
+// compare.  Content validation makes the cache self-correcting: a missing
+// or wrong hint costs a recomputation, never correctness, and a delta
+// evaluation is bit-identical to evaluating the same candidates from
+// scratch up to a Digest collision on two distinct rows (≈2⁻⁶⁴ per
+// comparison, never observed; TestDeltaEvaluationMatchesFull pins the
+// bit-identity, plus the digest/row coherence invariants, over randomized
+// move sequences).
 //
 // Reuse contract: scratch grows to the largest candidate set seen, cache
 // entries are allocated once per distinct site, and a steady-state

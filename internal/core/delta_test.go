@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"greencloud/internal/energy"
+	"greencloud/internal/series"
 )
 
 // deltaSpecs are the spec variants the differential tests sweep: every
@@ -72,6 +73,26 @@ func TestDeltaEvaluationMatchesFull(t *testing.T) {
 				got, err := delta.EvaluateCostMove(next.candidates, mv)
 				if err != nil {
 					t.Fatalf("step %d (%v): delta: %v", step, mv.Kind, err)
+				}
+				// The O(1) clean-site revalidation rides on the schedule-row
+				// digests run computes after the merge.  Pin the digest
+				// invariants the cache depends on: each rowDigest is coherent
+				// with the row it summarizes, and after an evaluation every
+				// current site's entry (reused or freshly stored) carries
+				// exactly the current (capacity, digest) validation key.
+				for i := 0; i < delta.n; i++ {
+					if d := series.Digest(delta.compute.Row(i)); delta.rowDigest[i] != d {
+						t.Fatalf("step %d: site slot %d digest %#x out of sync with schedule row (%#x)",
+							step, i, delta.rowDigest[i], d)
+					}
+					ent := delta.cache[delta.sites[i].ID]
+					if ent == nil {
+						t.Fatalf("step %d: site %d has no cache entry after a delta evaluation", step, delta.sites[i].ID)
+					}
+					if ent.capacityKW != delta.capacities[i] || ent.digest != delta.rowDigest[i] {
+						t.Fatalf("step %d: site %d cache key (cap %v, digest %#x) != current (cap %v, digest %#x)",
+							step, delta.sites[i].ID, ent.capacityKW, ent.digest, delta.capacities[i], delta.rowDigest[i])
+					}
 				}
 				// Reference: the same evaluator pipeline with every memoized
 				// result invalidated, i.e. a full from-scratch evaluation.

@@ -7,6 +7,7 @@ import (
 	"greencloud/internal/cost"
 	"greencloud/internal/energy"
 	"greencloud/internal/location"
+	"greencloud/internal/series"
 	"greencloud/internal/timeseries"
 )
 
@@ -42,10 +43,12 @@ type CostSummary struct {
 // Invalidation protocol: a site whose capacity the Move metadata says
 // changed is dirty by definition and re-runs without further checks; every
 // other site is validated by content — its cache entry is reused iff the
-// entry's capacity and schedule row are bitwise identical to the current
-// ones.  Content validation makes the cache self-correcting: a wrong or
-// missing Move hint can waste a recomputation but can never change a result,
-// so a delta evaluation is bit-identical to evaluating from scratch.
+// entry's capacity matches and its schedule-row digest (series.Digest,
+// computed once per merge) matches the row's current digest.  Content
+// validation makes the cache self-correcting: a wrong or missing Move hint
+// can waste a recomputation but can never change a result, so a delta
+// evaluation is bit-identical to evaluating from scratch up to a digest
+// collision on two distinct rows (≈2⁻⁶⁴ per comparison).
 //
 // Reuse contract: an Evaluator is bound to the catalog and spec it was
 // created with; scratch buffers grow to the largest candidate set seen and
@@ -74,16 +77,25 @@ type Evaluator struct {
 	// Per-call candidate state.
 	n          int
 	sites      []*location.Site
-	alphaRow   [][]float64 // aliases into prof's dense matrices
+	alphaRow   [][]float64 // aliases into prof's dense Blocks
 	betaRow    [][]float64
 	pueRow     [][]float64
 	rows       []int
 	capacities []float64
 
-	// Per-call scratch, n×epochs flattened matrices.
-	compute   []float64
-	migration []float64
-	demand    []float64
+	// Per-call scratch, n×epochs epoch-major matrices (one row per
+	// candidate site).  All four are single-owner scratch Blocks under the
+	// series mutability contract: reshaped per call, every row fully
+	// overwritten before it is read.
+	compute   series.Block // IT load assigned by the schedule merge
+	migration series.Block // migration overhead power
+	demand    series.Block // facility power demand
+	avail     series.Block // per-epoch green availability of the reference plants
+
+	// rowDigest[i] is the series.Digest of site i's current schedule row,
+	// computed once per merge; the per-site cache revalidates clean sites
+	// against it in O(1) instead of re-comparing full rows.
+	rowDigest []uint64
 
 	// Per-call scratch, length n.
 	brownRank []int
@@ -125,10 +137,12 @@ type siteOutputs struct {
 }
 
 // siteEntry is one memoized per-site stage result together with the inputs
-// it was computed for (the validation key).
+// it was computed for (the validation key).  The schedule row itself is not
+// stored: its series.Digest stands in for it, which shrinks the entry to a
+// few scalars and makes clean-site revalidation O(1) instead of O(epochs).
 type siteEntry struct {
 	capacityKW float64
-	compute    []float64 // the schedule row the outputs correspond to
+	digest     uint64 // series.Digest of the schedule row the outputs correspond to
 	out        siteOutputs
 }
 
@@ -173,11 +187,7 @@ func NewEvaluator(cat *location.Catalog, spec Spec) (*Evaluator, error) {
 		e.ucSolar[row] = unitGreenCost(s, true, spec.Cost)
 		e.ucWind[row] = unitGreenCost(s, false, spec.Cost)
 		e.solarTW[row], e.windTW[row] = techWeights(e.ucSolar[row], e.ucWind[row], spec)
-		sum := 0.0
-		for t, p := range prof.PUE(row) {
-			sum += p * e.weights[t]
-		}
-		e.pueKWh[row] = sum
+		e.pueKWh[row] = series.DotWeighted(prof.PUE(row), e.weights)
 	}
 	return e, nil
 }
@@ -243,10 +253,7 @@ func (e *Evaluator) run(candidates []Candidate, mv Move, sol *Solution) (CostSum
 	useCache := sol == nil && !e.noCache
 	feasible := true
 
-	totalCap := 0.0
-	for _, c := range e.capacities[:n] {
-		totalCap += c
-	}
+	totalCap := series.Sum(e.capacities[:n])
 	if totalCap+1e-6 < spec.TotalCapacityKW {
 		feasible = false
 		if sol != nil {
@@ -283,6 +290,13 @@ func (e *Evaluator) run(candidates []Candidate, mv Move, sol *Solution) (CostSum
 	// follow-the-renewables assignment.
 	e.referencePlants()
 	e.scheduleLoad()
+	if useCache {
+		// One digest per schedule row; clean sites revalidate against it in
+		// O(1) below instead of re-comparing the full row.
+		for i := 0; i < n; i++ {
+			e.rowDigest[i] = series.Digest(e.compute.Row(i))
+		}
+	}
 
 	// Per-site stages.
 	outs := e.outs[:n]
@@ -389,9 +403,10 @@ func (e *Evaluator) prepare(candidates []Candidate) error {
 	e.solarKW = growSlice(e.solarKW, n)
 	e.windKW = growSlice(e.windKW, n)
 	e.outs = growSlice(e.outs, n)
-	e.compute = growSlice(e.compute, n*E)
-	e.migration = growSlice(e.migration, n*E)
-	e.demand = growSlice(e.demand, n*E)
+	e.rowDigest = growSlice(e.rowDigest, n)
+	e.compute.Reshape(n, E)
+	e.migration.Reshape(n, E)
+	e.demand.Reshape(n, E)
 	e.scratchSeries = growSlice(e.scratchSeries, E)
 
 	for i, c := range candidates {
@@ -464,10 +479,8 @@ func (e *Evaluator) referencePlants() {
 // capacity.
 func (e *Evaluator) scheduleLoad() {
 	n, E := e.n, e.epochs
-	compute := e.compute[:n*E]
-	for i := range compute {
-		compute[i] = 0
-	}
+	compute := e.compute.Data()
+	series.Zero(compute)
 	total := e.spec.TotalCapacityKW
 
 	// Brown cost rank: cheaper grid energy × PUE first (static per site, so
@@ -494,19 +507,32 @@ func (e *Evaluator) scheduleLoad() {
 			break
 		}
 	}
+	// Green availability of every site's reference plant, one row-major
+	// kernel pass per site (α·refSolar + β·refWind); the epoch loop below
+	// then only gathers one value per site instead of re-deriving it from
+	// two profile rows.  The matrix is sized lazily: a brown-only spec
+	// (no reference plants) never pays its n×epochs footprint.
+	var avail []float64
+	if anyGreen {
+		e.avail.Reshape(n, E)
+		for i := 0; i < n; i++ {
+			series.WeightedSum(e.avail.Row(i), e.refSolar[i], e.alphaRow[i], e.refWind[i], e.betaRow[i])
+		}
+		avail = e.avail.Data()
+	}
 
 	idx, val := e.availIdx[:n], e.availVal[:n]
 	for t := 0; t < E; t++ {
 		remaining := total
 
 		if anyGreen {
-			// Green availability per site this epoch, sorted descending with
+			// Sort sites by green availability this epoch, descending, with
 			// a stable insertion sort on the preallocated index buffer (n is
 			// the candidate count — single digits to low tens — so this beats
 			// any allocation-free generic sort).
 			for i := 0; i < n; i++ {
 				idx[i] = i
-				val[i] = e.alphaRow[i][t]*e.refSolar[i] + e.betaRow[i][t]*e.refWind[i]
+				val[i] = avail[i*E+t]
 			}
 			for i := 1; i < n; i++ {
 				vi, ii := val[i], idx[i]
@@ -553,22 +579,23 @@ func (e *Evaluator) scheduleLoad() {
 }
 
 // siteOutputsInto produces site i's per-site stage outputs, reusing the
-// memoized result when the site is clean: its capacity and schedule row are
-// bitwise identical to the cache entry's.  A site whose capacity the move
-// metadata says changed (OldCap ≠ NewCap: grow, shrink, add) is dirty by
-// definition, so the row comparison is skipped outright; capacity-preserving
-// moves (swap) fall through to content validation, which lets a swap back to
-// a recently-priced site reuse its entry.
+// memoized result when the site is clean: its capacity is identical and its
+// schedule-row digest matches the cache entry's (the O(1) stand-in for the
+// old full-row compare; run computed the digests right after the merge).  A
+// site whose capacity the move metadata says changed (OldCap ≠ NewCap:
+// grow, shrink, add) is dirty by definition, so even the digest check is
+// skipped; capacity-preserving moves (swap) fall through to content
+// validation, which lets a swap back to a recently-priced site reuse its
+// entry.
 func (e *Evaluator) siteOutputsInto(i int, mv Move, useCache bool, out *siteOutputs) error {
 	if !useCache {
 		return e.siteStage(i, out)
 	}
 	id := e.sites[i].ID
 	cap := e.capacities[i]
-	row := e.compute[i*e.epochs : (i+1)*e.epochs]
 	ent := e.cache[id]
 	dirty := mv.Kind != MoveNone && mv.Site == id && mv.NewCap != mv.OldCap
-	if ent != nil && !dirty && ent.capacityKW == cap && floatsEqual(ent.compute, row) {
+	if ent != nil && !dirty && ent.capacityKW == cap && ent.digest == e.rowDigest[i] {
 		*out = ent.out
 		return nil
 	}
@@ -576,11 +603,11 @@ func (e *Evaluator) siteOutputsInto(i int, mv Move, useCache bool, out *siteOutp
 		return err
 	}
 	if ent == nil {
-		ent = &siteEntry{compute: make([]float64, e.epochs)}
+		ent = &siteEntry{}
 		e.cache[id] = ent
 	}
 	ent.capacityKW = cap
-	copy(ent.compute, row)
+	ent.digest = e.rowDigest[i]
 	ent.out = *out
 	return nil
 }
@@ -595,12 +622,7 @@ func (e *Evaluator) siteStage(i int, out *siteOutputs) error {
 	e.migrationRow(i)
 	e.demandRow(i)
 
-	E := e.epochs
-	d := e.demand[i*E : (i+1)*E]
-	demandKWh := 0.0
-	for t, v := range d {
-		demandKWh += v * e.weights[t]
-	}
+	demandKWh := series.DotWeighted(e.demand.Row(i), e.weights)
 
 	baseSolar, baseWind := 0.0, 0.0
 	if spec.MinGreenFraction > 0 && demandKWh > 0 {
@@ -623,34 +645,17 @@ func (e *Evaluator) siteStage(i int, out *siteOutputs) error {
 // migrationRow derives site i's per-epoch migration overhead power from its
 // compute schedule row: when the site's assignment drops between consecutive
 // epochs, the migrated load consumes power at the donor for
-// MigrationFraction of the next epoch (the paper's migratePow).
+// MigrationFraction of the next epoch (the paper's migratePow, the
+// series.ScaledDrop kernel).
 func (e *Evaluator) migrationRow(i int) {
-	E := e.epochs
-	frac := e.spec.MigrationFraction
-	c := e.compute[i*E : (i+1)*E]
-	m := e.migration[i*E : (i+1)*E]
-	m[0] = 0
-	for t := 1; t < E; t++ {
-		if drop := c[t-1] - c[t]; drop > 0 {
-			m[t] = frac * drop
-		} else {
-			m[t] = 0
-		}
-	}
+	series.ScaledDrop(e.migration.Row(i), e.spec.MigrationFraction, e.compute.Row(i))
 }
 
 // demandRow converts site i's IT power plus migration overhead into facility
-// power using its per-epoch PUE (the paper's powDemand).  It assumes
-// migrationRow has run for the current schedule.
+// power using its per-epoch PUE (the paper's powDemand, the series.AddMul
+// kernel).  It assumes migrationRow has run for the current schedule.
 func (e *Evaluator) demandRow(i int) {
-	E := e.epochs
-	c := e.compute[i*E : (i+1)*E]
-	m := e.migration[i*E : (i+1)*E]
-	d := e.demand[i*E : (i+1)*E]
-	pue := e.pueRow[i]
-	for t := 0; t < E; t++ {
-		d[t] = (c[t] + m[t]) * pue[t]
-	}
+	series.AddMul(e.demand.Row(i), e.compute.Row(i), e.migration.Row(i), e.pueRow[i])
 }
 
 // refreshDemandRows recomputes every site's migration and demand rows from
@@ -743,13 +748,10 @@ func (e *Evaluator) siteFraction(i int, baseSolar, baseWind, scale float64) (flo
 	solar := baseSolar * scale
 	wind := baseWind * scale
 	green := e.scratchSeries[:E]
-	alpha, beta := e.alphaRow[i], e.betaRow[i]
-	for t := 0; t < E; t++ {
-		green[t] = alpha[t]*solar + beta[t]*wind
-	}
+	series.WeightedSum(green, solar, e.alphaRow[i], wind, e.betaRow[i])
 	tot, err := energy.Totals(energy.BalanceInput{
 		GreenKW:            green,
-		DemandKW:           e.demand[i*E : (i+1)*E],
+		DemandKW:           e.demand.Row(i),
 		Weights:            e.weights,
 		Mode:               spec.Storage,
 		BatteryCapacityKWh: batteryCapacityFor(solar, wind, e.sites[i], *spec),
@@ -769,13 +771,10 @@ func (e *Evaluator) accountSite(i int, out *siteOutputs) error {
 	spec := &e.spec
 	site := e.sites[i]
 	green := e.scratchSeries[:E]
-	alpha, beta := e.alphaRow[i], e.betaRow[i]
-	for t := 0; t < E; t++ {
-		green[t] = alpha[t]*out.SolarKW + beta[t]*out.WindKW
-	}
+	series.WeightedSum(green, out.SolarKW, e.alphaRow[i], out.WindKW, e.betaRow[i])
 	tot, err := energy.Totals(energy.BalanceInput{
 		GreenKW:            green,
-		DemandKW:           e.demand[i*E : (i+1)*E],
+		DemandKW:           e.demand.Row(i),
 		Weights:            e.weights,
 		Mode:               spec.Storage,
 		BatteryCapacityKWh: out.BatteryKWh,
@@ -865,13 +864,10 @@ func (e *Evaluator) networkFraction(outs []siteOutputs, lambda float64) (float64
 	for i := 0; i < e.n; i++ {
 		solar := outs[i].SolarKW * lambda
 		wind := outs[i].WindKW * lambda
-		alpha, beta := e.alphaRow[i], e.betaRow[i]
-		for t := 0; t < E; t++ {
-			green[t] = alpha[t]*solar + beta[t]*wind
-		}
+		series.WeightedSum(green, solar, e.alphaRow[i], wind, e.betaRow[i])
 		tot, err := energy.Totals(energy.BalanceInput{
 			GreenKW:            green,
-			DemandKW:           e.demand[i*E : (i+1)*E],
+			DemandKW:           e.demand.Row(i),
 			Weights:            e.weights,
 			Mode:               spec.Storage,
 			BatteryCapacityKWh: batteryCapacityFor(solar, wind, e.sites[i], *spec),
@@ -906,13 +902,10 @@ func (e *Evaluator) materializeSite(i int, out *siteOutputs, sol *Solution) erro
 	spec := &e.spec
 	site := e.sites[i]
 	green := make([]float64, E)
-	alpha, beta := e.alphaRow[i], e.betaRow[i]
-	for t := 0; t < E; t++ {
-		green[t] = alpha[t]*out.SolarKW + beta[t]*out.WindKW
-	}
+	series.WeightedSum(green, out.SolarKW, e.alphaRow[i], out.WindKW, e.betaRow[i])
 	res, err := e.balancer.Balance(energy.BalanceInput{
 		GreenKW:            green,
-		DemandKW:           e.demand[i*E : (i+1)*E],
+		DemandKW:           e.demand.Row(i),
 		Weights:            e.weights,
 		Mode:               spec.Storage,
 		BatteryCapacityKWh: out.BatteryKWh,
@@ -937,8 +930,8 @@ func (e *Evaluator) materializeSite(i int, out *siteOutputs, sol *Solution) erro
 		},
 		Breakdown:     out.Breakdown,
 		GreenFraction: res.GreenFraction(),
-		ComputeKW:     copyFloats(e.compute[i*E : (i+1)*E]),
-		MigrationKW:   copyFloats(e.migration[i*E : (i+1)*E]),
+		ComputeKW:     copyFloats(e.compute.Row(i)),
+		MigrationKW:   copyFloats(e.migration.Row(i)),
 		BrownKW:       copyFloats(res.BrownKW),
 		GreenKW:       green,
 	})
@@ -956,20 +949,6 @@ func growSlice[T any](s []T, n int) []T {
 		return make([]T, n)
 	}
 	return s[:n]
-}
-
-// floatsEqual reports whether two series are bitwise identical (no values in
-// the evaluator are NaN, so == is exact equality).
-func floatsEqual(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func copyFloats(s []float64) []float64 {

@@ -106,7 +106,7 @@ func TestScheduleLoadSaturatesTightCapacity(t *testing.T) {
 	ev.scheduleLoad()
 	E := ev.epochs
 	for t2 := 0; t2 < E; t2++ {
-		got0, got1 := ev.compute[t2], ev.compute[E+t2]
+		got0, got1 := ev.compute.Data()[t2], ev.compute.Data()[E+t2]
 		if math.Abs(got0-7_500) > 1e-6 || math.Abs(got1-2_500) > 1e-6 {
 			t.Fatalf("epoch %d: split (%v, %v), want (7500, 2500)", t2, got0, got1)
 		}
@@ -135,11 +135,11 @@ func TestScheduleLoadZeroCapacitySite(t *testing.T) {
 	ev.scheduleLoad()
 	E := ev.epochs
 	for t2 := 0; t2 < E; t2++ {
-		if ev.compute[E+t2] != 0 {
-			t.Fatalf("epoch %d: zero-capacity site was assigned %v kW", t2, ev.compute[E+t2])
+		if ev.compute.Data()[E+t2] != 0 {
+			t.Fatalf("epoch %d: zero-capacity site was assigned %v kW", t2, ev.compute.Data()[E+t2])
 		}
-		if math.Abs(ev.compute[t2]-10_000) > 1e-6 {
-			t.Fatalf("epoch %d: surviving site got %v kW, want the full 10000", t2, ev.compute[t2])
+		if math.Abs(ev.compute.Data()[t2]-10_000) > 1e-6 {
+			t.Fatalf("epoch %d: surviving site got %v kW, want the full 10000", t2, ev.compute.Data()[t2])
 		}
 	}
 }
@@ -161,10 +161,10 @@ func TestScheduleLoadUnplaceableRemainder(t *testing.T) {
 	ev.scheduleLoad()
 	E := ev.epochs
 	for t2 := 0; t2 < E; t2++ {
-		if ev.compute[t2] > 3_000+1e-6 || ev.compute[E+t2] > 2_000+1e-6 {
-			t.Fatalf("epoch %d: a site exceeded its capacity (%v, %v)", t2, ev.compute[t2], ev.compute[E+t2])
+		if ev.compute.Data()[t2] > 3_000+1e-6 || ev.compute.Data()[E+t2] > 2_000+1e-6 {
+			t.Fatalf("epoch %d: a site exceeded its capacity (%v, %v)", t2, ev.compute.Data()[t2], ev.compute.Data()[E+t2])
 		}
-		assigned := ev.compute[t2] + ev.compute[E+t2]
+		assigned := ev.compute.Data()[t2] + ev.compute.Data()[E+t2]
 		if math.Abs(assigned-5_000) > 1e-6 {
 			t.Fatalf("epoch %d: assigned %v kW, want all 5000 kW of capacity saturated", t2, assigned)
 		}

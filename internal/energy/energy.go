@@ -14,6 +14,8 @@ package energy
 import (
 	"errors"
 	"fmt"
+
+	"greencloud/internal/series"
 )
 
 // StorageMode selects how surplus green energy can be carried across epochs.
@@ -139,169 +141,42 @@ type Balancer struct {
 // Balance is the zero-allocation equivalent of the package-level Balance.
 func (bl *Balancer) Balance(in BalanceInput) (*BalanceResult, error) {
 	n := len(in.GreenKW)
-	if len(in.DemandKW) != n || len(in.Weights) != n {
-		return nil, ErrLengthMismatch
-	}
-	switch in.Mode {
-	case NoStorage, NetMetering, Batteries:
-	default:
-		return nil, ErrBadMode
-	}
-	eff := in.BatteryEfficiency
-	if in.Mode == Batteries {
-		if eff <= 0 || eff > 1 {
-			return nil, ErrBadEfficiency
-		}
-	} else {
-		eff = 1
-	}
-
+	// Resize only — no zeroing: simulate writes every element of every
+	// series on each epoch, so a clearing pass would be dead work.
 	r := &bl.res
 	*r = BalanceResult{
-		BrownKW:         zeroed(r.BrownKW, n),
-		GreenUsedKW:     zeroed(r.GreenUsedKW, n),
-		BattChargeKW:    zeroed(r.BattChargeKW, n),
-		BattDischargeKW: zeroed(r.BattDischargeKW, n),
-		NetChargeKW:     zeroed(r.NetChargeKW, n),
-		NetDischargeKW:  zeroed(r.NetDischargeKW, n),
-		BatteryLevelKWh: zeroed(r.BatteryLevelKWh, n),
-		NetLevelKWh:     zeroed(r.NetLevelKWh, n),
-		UnmetKW:         zeroed(r.UnmetKW, n),
+		BrownKW:         series.Grow(r.BrownKW, n),
+		GreenUsedKW:     series.Grow(r.GreenUsedKW, n),
+		BattChargeKW:    series.Grow(r.BattChargeKW, n),
+		BattDischargeKW: series.Grow(r.BattDischargeKW, n),
+		NetChargeKW:     series.Grow(r.NetChargeKW, n),
+		NetDischargeKW:  series.Grow(r.NetDischargeKW, n),
+		BatteryLevelKWh: series.Grow(r.BatteryLevelKWh, n),
+		NetLevelKWh:     series.Grow(r.NetLevelKWh, n),
+		UnmetKW:         series.Grow(r.UnmetKW, n),
 	}
-
-	battLevel := in.InitialBatteryKWh
-	if battLevel > in.BatteryCapacityKWh {
-		battLevel = in.BatteryCapacityKWh
+	tot, err := simulate(in, r)
+	if err != nil {
+		return nil, err
 	}
-	netLevel := 0.0
-
-	for i := 0; i < n; i++ {
-		hours := in.Weights[i]
-		if hours <= 0 {
-			return nil, fmt.Errorf("energy: epoch %d has non-positive weight %v", i, hours)
-		}
-		green := nonNegative(in.GreenKW[i])
-		demand := nonNegative(in.DemandKW[i])
-		r.DemandKWh += demand * hours
-		r.GreenProducedKWh += green * hours
-
-		// 1. Use green production directly.
-		direct := green
-		if direct > demand {
-			direct = demand
-		}
-		r.GreenUsedKW[i] = direct
-		r.GreenUsedKWh += direct * hours
-		surplus := green - direct
-		deficit := demand - direct
-
-		// 2. Store surplus.
-		switch in.Mode {
-		case Batteries:
-			if surplus > 0 && battLevel < in.BatteryCapacityKWh {
-				// Power we can absorb this epoch limited by remaining capacity.
-				room := in.BatteryCapacityKWh - battLevel
-				chargePow := surplus
-				if chargePow*eff*hours > room {
-					chargePow = room / (eff * hours)
-				}
-				battLevel += chargePow * eff * hours
-				r.BattChargeKW[i] = chargePow
-			}
-		case NetMetering:
-			if surplus > 0 {
-				netLevel += surplus * hours
-				r.NetChargeKW[i] = surplus
-				r.NetChargedKWh += surplus * hours
-			}
-		case NoStorage:
-			// Surplus is curtailed.
-		}
-
-		// 3. Cover the deficit: storage first, then brown power.
-		if deficit > 0 {
-			switch in.Mode {
-			case Batteries:
-				dischargePow := deficit
-				if dischargePow*hours > battLevel {
-					dischargePow = battLevel / hours
-				}
-				battLevel -= dischargePow * hours
-				r.BattDischargeKW[i] = dischargePow
-				r.BattDischargedKWh += dischargePow * hours
-				deficit -= dischargePow
-			case NetMetering:
-				dischargePow := deficit
-				if dischargePow*hours > netLevel {
-					dischargePow = netLevel / hours
-				}
-				netLevel -= dischargePow * hours
-				r.NetDischargeKW[i] = dischargePow
-				r.NetDischargedKWh += dischargePow * hours
-				deficit -= dischargePow
-			}
-		}
-		if deficit > 0 {
-			brown := deficit
-			if in.MaxBrownKW > 0 && brown > in.MaxBrownKW {
-				brown = in.MaxBrownKW
-			}
-			r.BrownKW[i] = brown
-			r.BrownKWh += brown * hours
-			deficit -= brown
-		}
-		if deficit > 1e-12 {
-			r.UnmetKW[i] = deficit
-			r.UnmetKWh += deficit * hours
-		}
-
-		r.BatteryLevelKWh[i] = battLevel
-		r.NetLevelKWh[i] = netLevel
-	}
+	r.DemandKWh = tot.DemandKWh
+	r.GreenProducedKWh = tot.GreenProducedKWh
+	r.GreenUsedKWh = tot.GreenUsedKWh
+	r.BrownKWh = tot.BrownKWh
+	r.NetChargedKWh = tot.NetChargedKWh
+	r.NetDischargedKWh = tot.NetDischargedKWh
+	r.BattDischargedKWh = tot.BattDischargedKWh
+	r.UnmetKWh = tot.UnmetKWh
 	return r, nil
 }
 
-// BalanceTotals is the scalar outcome of a balance: the yearly totals the
-// cost model, the green-fraction constraint and the nearest-plant check need,
-// without any per-epoch series.
-type BalanceTotals struct {
-	DemandKWh         float64
-	GreenProducedKWh  float64
-	GreenUsedKWh      float64
-	BrownKWh          float64
-	NetChargedKWh     float64
-	NetDischargedKWh  float64
-	BattDischargedKWh float64
-	UnmetKWh          float64
-	// MaxBrownKW is the largest brown power draw of any epoch (the
-	// nearest-plant constraint is written against it).
-	MaxBrownKW float64
-}
-
-// GreenFraction mirrors BalanceResult.GreenFraction.
-func (t *BalanceTotals) GreenFraction() float64 {
-	if t.DemandKWh <= 0 {
-		return 1
-	}
-	green := t.GreenUsedKWh + t.BattDischargedKWh + t.NetDischargedKWh
-	f := green / t.DemandKWh
-	if f > 1 {
-		return 1
-	}
-	return f
-}
-
-// Feasible mirrors BalanceResult.Feasible.
-func (t *BalanceTotals) Feasible() bool { return t.UnmetKWh < 1e-6 }
-
-// Totals runs the chronological greedy storage simulation exactly like
-// Balance but accumulates only the yearly totals, performing no heap
-// allocations and no per-epoch series writes.  The arithmetic is statement-
-// for-statement the same as Balance's, so the returned totals are
-// bit-identical to the ones a full Balance would report; hot loops that only
-// need totals (the plant-sizing bisection, cost-only evaluation) should call
-// this instead.
-func Totals(in BalanceInput) (BalanceTotals, error) {
+// simulate is the single chronological storage simulation behind both
+// Balance and Totals: one statement sequence, so the two can never drift
+// apart arithmetically.  When res is non-nil the per-epoch series are
+// recorded into it (res's series must already be sized to len(in.GreenKW));
+// when res is nil only the totals are accumulated and the function performs
+// no heap allocations and no series writes.
+func simulate(in BalanceInput, res *BalanceResult) (BalanceTotals, error) {
 	n := len(in.GreenKW)
 	var r BalanceTotals
 	if len(in.DemandKW) != n || len(in.Weights) != n {
@@ -347,19 +222,23 @@ func Totals(in BalanceInput) (BalanceTotals, error) {
 		deficit := demand - direct
 
 		// 2. Store surplus.
+		battChargePow, netChargePow := 0.0, 0.0
 		switch in.Mode {
 		case Batteries:
 			if surplus > 0 && battLevel < in.BatteryCapacityKWh {
+				// Power we can absorb this epoch limited by remaining capacity.
 				room := in.BatteryCapacityKWh - battLevel
 				chargePow := surplus
 				if chargePow*eff*hours > room {
 					chargePow = room / (eff * hours)
 				}
 				battLevel += chargePow * eff * hours
+				battChargePow = chargePow
 			}
 		case NetMetering:
 			if surplus > 0 {
 				netLevel += surplus * hours
+				netChargePow = surplus
 				r.NetChargedKWh += surplus * hours
 			}
 		case NoStorage:
@@ -367,6 +246,7 @@ func Totals(in BalanceInput) (BalanceTotals, error) {
 		}
 
 		// 3. Cover the deficit: storage first, then brown power.
+		battDischargePow, netDischargePow := 0.0, 0.0
 		if deficit > 0 {
 			switch in.Mode {
 			case Batteries:
@@ -375,6 +255,7 @@ func Totals(in BalanceInput) (BalanceTotals, error) {
 					dischargePow = battLevel / hours
 				}
 				battLevel -= dischargePow * hours
+				battDischargePow = dischargePow
 				r.BattDischargedKWh += dischargePow * hours
 				deficit -= dischargePow
 			case NetMetering:
@@ -383,12 +264,14 @@ func Totals(in BalanceInput) (BalanceTotals, error) {
 					dischargePow = netLevel / hours
 				}
 				netLevel -= dischargePow * hours
+				netDischargePow = dischargePow
 				r.NetDischargedKWh += dischargePow * hours
 				deficit -= dischargePow
 			}
 		}
+		brown := 0.0
 		if deficit > 0 {
-			brown := deficit
+			brown = deficit
 			if in.MaxBrownKW > 0 && brown > in.MaxBrownKW {
 				brown = in.MaxBrownKW
 			}
@@ -398,11 +281,69 @@ func Totals(in BalanceInput) (BalanceTotals, error) {
 			r.BrownKWh += brown * hours
 			deficit -= brown
 		}
+		unmet := 0.0
 		if deficit > 1e-12 {
+			unmet = deficit
 			r.UnmetKWh += deficit * hours
+		}
+
+		if res != nil {
+			res.GreenUsedKW[i] = direct
+			res.BattChargeKW[i] = battChargePow
+			res.NetChargeKW[i] = netChargePow
+			res.BattDischargeKW[i] = battDischargePow
+			res.NetDischargeKW[i] = netDischargePow
+			res.BrownKW[i] = brown
+			res.UnmetKW[i] = unmet
+			res.BatteryLevelKWh[i] = battLevel
+			res.NetLevelKWh[i] = netLevel
 		}
 	}
 	return r, nil
+}
+
+// BalanceTotals is the scalar outcome of a balance: the yearly totals the
+// cost model, the green-fraction constraint and the nearest-plant check need,
+// without any per-epoch series.
+type BalanceTotals struct {
+	DemandKWh         float64
+	GreenProducedKWh  float64
+	GreenUsedKWh      float64
+	BrownKWh          float64
+	NetChargedKWh     float64
+	NetDischargedKWh  float64
+	BattDischargedKWh float64
+	UnmetKWh          float64
+	// MaxBrownKW is the largest brown power draw of any epoch (the
+	// nearest-plant constraint is written against it).
+	MaxBrownKW float64
+}
+
+// GreenFraction mirrors BalanceResult.GreenFraction.
+func (t *BalanceTotals) GreenFraction() float64 {
+	if t.DemandKWh <= 0 {
+		return 1
+	}
+	green := t.GreenUsedKWh + t.BattDischargedKWh + t.NetDischargedKWh
+	f := green / t.DemandKWh
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Feasible mirrors BalanceResult.Feasible.
+func (t *BalanceTotals) Feasible() bool { return t.UnmetKWh < 1e-6 }
+
+// Totals runs the chronological greedy storage simulation exactly like
+// Balance but accumulates only the yearly totals, performing no heap
+// allocations and no per-epoch series writes.  Balance and Totals share the
+// single simulate core — one statement sequence — so the returned totals
+// are bit-identical to the ones a full Balance would report; hot loops that
+// only need totals (the plant-sizing bisection, cost-only evaluation)
+// should call this instead.
+func Totals(in BalanceInput) (BalanceTotals, error) {
+	return simulate(in, nil)
 }
 
 // RequiredPlantScale returns the multiplicative factor by which a green
@@ -420,11 +361,9 @@ func RequiredPlantScale(greenPerKW, demandKW, weights []float64, mode StorageMod
 	if maxScale <= 0 {
 		return 0, errors.New("energy: maxScale must be positive")
 	}
+	green := make([]float64, len(greenPerKW))
 	eval := func(scale float64) (float64, error) {
-		green := make([]float64, len(greenPerKW))
-		for i, g := range greenPerKW {
-			green[i] = g * scale
-		}
+		series.Scale(green, scale, greenPerKW)
 		res, err := Balance(BalanceInput{
 			GreenKW:            green,
 			DemandKW:           demandKW,
@@ -466,17 +405,4 @@ func nonNegative(v float64) float64 {
 		return 0
 	}
 	return v
-}
-
-// zeroed returns s resized to n with every element zero, reusing the backing
-// array when it is large enough.
-func zeroed(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	s = s[:n]
-	for i := range s {
-		s[i] = 0
-	}
-	return s
 }

@@ -1,25 +1,30 @@
 package location
 
-import "sync"
+import (
+	"sync"
+
+	"greencloud/internal/series"
+)
 
 // Profiles is a dense, read-only view of the catalog's per-epoch site
-// profiles: the α (solar), β (wind) and PUE series of every site stored in
-// one contiguous site-major matrix each.  The flat layout keeps the
-// evaluator's inner loops cache-friendly (no per-site pointer chasing) and
-// is SIMD-friendly should the hot loops ever be vectorized.
+// profiles: the α (solar), β (wind) and PUE series of every site, each
+// stored as one epoch-major series.Block (sites × epochs, contiguous).
+// The Block layout keeps the evaluator's inner loops cache-friendly (no
+// per-site pointer chasing) and is the shape the series kernels stream
+// through.
 //
 // Profiles is built once per catalog (lazily, on first use) and shared by
-// all readers; it must not be mutated.
+// all readers; per the series.Block read-only contract, it must not be
+// mutated after construction.
 type Profiles struct {
-	epochs int
-	rows   map[int]int // site ID → row index
-	alpha  []float64   // len = sites × epochs, row-major
-	beta   []float64
-	pue    []float64
+	rows  map[int]int // site ID → row index
+	alpha series.Block
+	beta  series.Block
+	pue   series.Block
 }
 
 // Epochs returns the number of epochs per site row.
-func (p *Profiles) Epochs() int { return p.epochs }
+func (p *Profiles) Epochs() int { return p.alpha.Epochs() }
 
 // Row returns the matrix row for the given site ID.
 func (p *Profiles) Row(siteID int) (int, bool) {
@@ -28,19 +33,19 @@ func (p *Profiles) Row(siteID int) (int, bool) {
 }
 
 // Alpha returns the solar production-factor series of the given row.  The
-// returned slice aliases the shared matrix; callers must not modify it.
+// returned slice aliases the shared Block; callers must not modify it.
 func (p *Profiles) Alpha(row int) []float64 {
-	return p.alpha[row*p.epochs : (row+1)*p.epochs]
+	return p.alpha.Row(row)
 }
 
 // Beta returns the wind production-factor series of the given row.
 func (p *Profiles) Beta(row int) []float64 {
-	return p.beta[row*p.epochs : (row+1)*p.epochs]
+	return p.beta.Row(row)
 }
 
 // PUE returns the PUE series of the given row.
 func (p *Profiles) PUE(row int) []float64 {
-	return p.pue[row*p.epochs : (row+1)*p.epochs]
+	return p.pue.Row(row)
 }
 
 // profilesOnce is attached to the catalog for lazy one-time construction.
@@ -57,18 +62,15 @@ func (c *Catalog) Profiles() *Profiles {
 	c.profiles.once.Do(func() {
 		epochs := c.grid.Len()
 		n := len(c.sites)
-		p := &Profiles{
-			epochs: epochs,
-			rows:   make(map[int]int, n),
-			alpha:  make([]float64, n*epochs),
-			beta:   make([]float64, n*epochs),
-			pue:    make([]float64, n*epochs),
-		}
+		p := &Profiles{rows: make(map[int]int, n)}
+		p.alpha.Reshape(n, epochs)
+		p.beta.Reshape(n, epochs)
+		p.pue.Reshape(n, epochs)
 		for row, s := range c.sites {
 			p.rows[s.ID] = row
-			copy(p.alpha[row*epochs:], s.Alpha)
-			copy(p.beta[row*epochs:], s.Beta)
-			copy(p.pue[row*epochs:], s.PUE)
+			copy(p.alpha.Row(row), s.Alpha)
+			copy(p.beta.Row(row), s.Beta)
+			copy(p.pue.Row(row), s.PUE)
 		}
 		c.profiles.p = p
 	})

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"greencloud/internal/lp"
+	"greencloud/internal/series"
 	"greencloud/internal/vm"
 )
 
@@ -52,6 +53,15 @@ func (d DatacenterState) pueAt(h int) float64 {
 	return d.PUE[len(d.PUE)-1]
 }
 
+// pueSeries fills dst with the PUE of each slot, applying the same
+// broadcast rule as pueAt, so kernel passes over a horizon can consume the
+// PUE as a dense row.
+func (d DatacenterState) pueSeries(dst []float64) {
+	for h := range dst {
+		dst[h] = d.pueAt(h)
+	}
+}
+
 // Options configures the scheduler.
 type Options struct {
 	// HorizonHours is the planning horizon (the paper uses 48).
@@ -82,9 +92,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Scheduler plans follow-the-renewables workload placement.
+// Scheduler plans follow-the-renewables workload placement.  It owns the
+// scratch rows its estimators reuse across calls, so a Scheduler must not
+// be used concurrently.
 type Scheduler struct {
 	opts Options
+
+	// Scratch for BrownEnergyIfStatic, grown to the horizon once and
+	// reused (the repo-wide zero-steady-state-allocation idiom).
+	deficit []float64
+	pue     []float64
 }
 
 // New returns a scheduler.
@@ -316,17 +333,26 @@ func (s *Scheduler) MigrationSchedule(dcs []DatacenterState, placements map[stri
 
 // BrownEnergyIfStatic estimates the brown energy over the horizon if no load
 // were ever migrated (everything stays where it is), used as the baseline
-// the scheduler's plan is compared against.
+// the scheduler's plan is compared against.  The per-slot deficit
+// (load·PUE − green, positive part summed) is one Scale/AXPY/SumPositive
+// kernel chain per datacenter over the horizon row, bit-identical to the
+// scalar loop it replaced: Scale-then-AXPY(−1) rather than one WeightedSum
+// keeps the two-rounding shape even where the target fuses multiply-adds
+// (the −1 product is exact), and threading the accumulator through
+// SumPositive keeps one addition chain across all datacenters.
 func (s *Scheduler) BrownEnergyIfStatic(dcs []DatacenterState) float64 {
 	total := 0.0
 	for _, dc := range dcs {
-		for h := 0; h < s.opts.HorizonHours && h < len(dc.GreenForecastKW); h++ {
-			demand := dc.CurrentLoadKW * dc.pueAt(h)
-			deficit := demand - dc.GreenForecastKW[h]
-			if deficit > 0 {
-				total += deficit
-			}
+		h := s.opts.HorizonHours
+		if h > len(dc.GreenForecastKW) {
+			h = len(dc.GreenForecastKW)
 		}
+		s.deficit = series.Grow(s.deficit, h)
+		s.pue = series.Grow(s.pue, h)
+		dc.pueSeries(s.pue)
+		series.Scale(s.deficit, dc.CurrentLoadKW, s.pue)
+		series.AXPY(s.deficit, -1, dc.GreenForecastKW[:h])
+		total = series.SumPositive(total, s.deficit)
 	}
 	return total
 }
