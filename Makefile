@@ -24,13 +24,15 @@ build:
 test:
 	$(GO) test -race -timeout 2400s ./...
 
-# One-shot smoke of the two allocation-contract benchmarks: the cached
-# evaluator (EvaluateSteadyState) and the delta-move path (EvaluateDeltaMove)
-# both print allocs/op, and their 0 allocs/op guarantee is enforced by the
-# accompanying tests; running them here catches a benchmark-only breakage
-# (setup drift, catalog changes) in `make ci` instead of the full sweep.
+# One-shot smoke of the contract-carrying benchmarks: the cached evaluator
+# (EvaluateSteadyState) and the delta-move path (EvaluateDeltaMove) print
+# allocs/op with their 0 allocs/op guarantee enforced by the accompanying
+# tests, and LPResolve exercises the warm-started revised-simplex path
+# (SetRHS + SolveFrom) end to end; running them here catches a
+# benchmark-only breakage (setup drift, catalog changes, a basis that stops
+# translating) in `make ci` instead of the full sweep.
 bench-smoke:
-	$(GO) test -bench='^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove)$$' -benchtime=1x -run '^$$' .
+	$(GO) test -bench='^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve)$$' -benchtime=1x -run '^$$' .
 
 # Full benchmark sweep (regenerates every paper figure; slow).  The output
 # is snapshotted into BENCH_<date>.json so the performance trajectory is

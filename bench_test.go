@@ -1,6 +1,7 @@
 package greencloud_test
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"greencloud/internal/core"
 	"greencloud/internal/experiments"
 	"greencloud/internal/location"
+	"greencloud/internal/lp"
 	"greencloud/internal/series"
 )
 
@@ -186,6 +188,130 @@ func BenchmarkSchedulerComputeTime(b *testing.B) { runExperiment(b, "sched-timin
 // exact MILP on a small instance (Section III-D).
 func BenchmarkHeuristicVsExactSmall(b *testing.B) { runExperiment(b, "heuristic-vs-exact") }
 
+// lpBenchDCs × lpBenchHorizon is the shape of the benchmark partition LP —
+// the scheduler's production shape (3 datacenters × 48 hours).
+const (
+	lpBenchDCs     = 3
+	lpBenchHorizon = 48
+)
+
+// partitionLP builds a scheduler-shaped partition LP (nDC datacenters ×
+// horizon hours: load/migration/brown variables, placement equalities,
+// migration-overhead, brown-deficit and capacity rows) with a phase
+// parameter that shifts the green forecasts, so successive phases model
+// successive scheduling rounds.  The placement rows are, by construction,
+// the first horizon constraints (indices [0, horizon)) — the rhs the
+// re-solve benchmark rewrites.
+func partitionLP(b *testing.B, nDC, horizon int, phase float64) *lp.Problem {
+	b.Helper()
+	const totalLoad = 900.0
+	prob := lp.NewProblem(lp.Minimize)
+	load := make([][]lp.Var, nDC)
+	mig := make([][]lp.Var, nDC)
+	brown := make([][]lp.Var, nDC)
+	var err error
+	for d := 0; d < nDC; d++ {
+		load[d] = make([]lp.Var, horizon)
+		mig[d] = make([]lp.Var, horizon)
+		brown[d] = make([]lp.Var, horizon)
+		price := 0.08 + 0.01*float64(d)
+		for h := 0; h < horizon; h++ {
+			if load[d][h], err = prob.AddVariable("load", 0, lp.Infinity, 0); err != nil {
+				b.Fatal(err)
+			}
+			if mig[d][h], err = prob.AddVariable("mig", 0, lp.Infinity, price*0.1); err != nil {
+				b.Fatal(err)
+			}
+			if brown[d][h], err = prob.AddVariable("brown", 0, lp.Infinity, price); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for h := 0; h < horizon; h++ {
+		terms := make([]lp.Term, nDC)
+		for d := 0; d < nDC; d++ {
+			terms[d] = lp.Term{Var: load[d][h], Coeff: 1}
+		}
+		if err := prob.AddConstraint("place", lp.EQ, totalLoad, terms...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const f = 1.0
+	for d := 0; d < nDC; d++ {
+		for h := 0; h < horizon; h++ {
+			green := 600 * math.Max(0, math.Sin(float64(h+8*d)/24*2*math.Pi+phase))
+			terms := []lp.Term{{Var: mig[d][h], Coeff: 1}, {Var: load[d][h], Coeff: f}}
+			rhs := 0.0
+			if h == 0 {
+				rhs = f * totalLoad / float64(nDC)
+			} else {
+				terms = append(terms, lp.Term{Var: load[d][h-1], Coeff: -f})
+			}
+			if err := prob.AddConstraint("migOut", lp.GE, rhs, terms...); err != nil {
+				b.Fatal(err)
+			}
+			if err := prob.AddConstraint("brown", lp.GE, -green,
+				lp.Term{Var: brown[d][h], Coeff: 1},
+				lp.Term{Var: load[d][h], Coeff: -1.08},
+				lp.Term{Var: mig[d][h], Coeff: -1.08}); err != nil {
+				b.Fatal(err)
+			}
+			if err := prob.AddConstraint("cap", lp.LE, totalLoad,
+				lp.Term{Var: load[d][h], Coeff: 1},
+				lp.Term{Var: mig[d][h], Coeff: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return prob
+}
+
+// BenchmarkLPSolve measures a cold solve of the scheduler-shaped partition
+// LP (3 datacenters × 48 hours, 432 variables / 480 rows) — the from-scratch
+// path of the revised simplex: standardize, factorize the slack basis,
+// phase 1 + phase 2.
+func BenchmarkLPSolve(b *testing.B) {
+	prob := partitionLP(b, lpBenchDCs, lpBenchHorizon, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prob.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPResolve measures the warm-started re-solve path that
+// internal/sched and internal/milp live on: the same partition LP with its
+// right-hand sides perturbed each round, re-solved from the previous
+// round's Basis (dual-simplex restart).  The gap between this and
+// BenchmarkLPSolve is the payoff of the basis-reuse API.
+func BenchmarkLPResolve(b *testing.B) {
+	prob := partitionLP(b, lpBenchDCs, lpBenchHorizon, 0)
+	sol, err := prob.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	basis := sol.Basis()
+	const nPlace = lpBenchHorizon // placement rows are constraints [0, horizon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Perturb the round's total load and re-solve warm.
+		totalLoad := 900.0 + float64(i%2)*50
+		for h := 0; h < nPlace; h++ {
+			if err := prob.SetRHS(h, totalLoad); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warm, err := prob.SolveFrom(basis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		basis = warm.Basis()
+	}
+}
+
 // kernelEpochs is the row length of the series-kernel microbenchmarks: one
 // hourly year, the largest epoch grid the evaluator runs on.  The kernels
 // below are the hot inner loops of the schedule merge (WeightedSum), the
@@ -231,6 +357,21 @@ func BenchmarkSeriesAddMul(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		series.AddMul(dst, x, y, z)
 	}
+}
+
+// BenchmarkSeriesSum measures the plain reduction kernel Σ x over one row
+// (4-way unrolled, single accumulator — the addition chain is part of the
+// bit-identity contract).
+func BenchmarkSeriesSum(b *testing.B) {
+	x, _, _, _ := kernelRows(kernelEpochs)
+	b.SetBytes(8 * kernelEpochs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += series.Sum(x)
+	}
+	_ = sink
 }
 
 // BenchmarkSeriesDotWeighted measures the energy-balance totals kernel

@@ -18,13 +18,46 @@
 // simulated annealing, the within-datacenter VM manager and the emulated
 // wide-area network — is implemented from scratch under internal/.
 //
+// # The LP layer: sparse revised simplex with basis reuse
+//
+// Every linear program in the system — the scheduler's 48-hour partition
+// LP, the branch-and-bound relaxations of internal/milp, the exact
+// evaluator's siting MILP — runs on internal/lp's revised simplex.  The
+// standard form is stored column-wise (CSC, built once per solve); the
+// basis matrix is LU-factorized by a Gilbert–Peierls sparse factorization
+// with partial pivoting, updated by a product-form eta file and
+// refactorized every 64 pivots; FTRAN/BTRAN triangular solves replace the
+// dense tableau's whole-row elimination.  Pricing maintains the
+// reduced-cost row incrementally (one sparse BTRAN of the leaving unit
+// vector plus one CSC pass per pivot), verifies every nominee exactly from
+// its FTRAN column, and only declares optimality after an exact rebuild; a
+// Harris-style two-pass ratio test keeps eta-file roundoff from ever being
+// chosen as a pivot.
+//
+// Warm starts thread the basis up the stack: a Solution captures its
+// optimal basis in model-level terms (lp.Basis — per row, which
+// variable/slack/artificial was basic, keyed by identities that survive
+// re-standardization), and Problem.SolveFrom restarts from it after
+// SetBounds/SetRHS/SetCoeff/SetCost mutations — typically a short
+// dual-simplex run, since mutations preserve dual feasibility.
+// internal/milp keeps one shared relaxation Problem and re-solves every
+// branch-and-bound node from its parent's basis; internal/sched keeps a
+// per-Scheduler Problem plus basis across scheduling rounds; the exact
+// evaluator inherits both.  A basis that no longer translates silently
+// falls back to a cold two-phase solve, so reuse can cost time but never
+// correctness, and the revised core is pinned against the frozen
+// pre-refactor dense-tableau solver by a 600-problem randomized
+// differential test (identical Status everywhere, objectives within 1e-9).
+//
 // # The series layer: epoch-major blocks and fused kernels
 //
 // All dense per-epoch arithmetic lives in internal/series: an epoch-major
 // Block type (rows × epochs float64, contiguous, row r at
 // data[r·E, (r+1)·E)) plus a small set of fused element-wise kernels
-// (WeightedSum, AddMul, AXPY, FMA, Scale, ClampMin/Max, DotWeighted, Sum,
-// ScaledDrop, Zero and a per-row rolling Digest).  location.Profiles hands
+// (WeightedSum, AddMul, AXPY, Scale, DotWeighted, Sum, SumPositive,
+// ScaledDrop, Zero and a per-row rolling Digest; Sum and DotWeighted are
+// 4-way unrolled with a single accumulator, so their addition chains — and
+// therefore their bits — match the plain loops).  location.Profiles hands
 // out its α/β/PUE matrices as read-only Block rows; core.Evaluator's
 // scratch matrices (compute, migration, demand, green availability) are
 // single-owner scratch Blocks; internal/energy's balancer and

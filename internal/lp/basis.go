@@ -1,0 +1,71 @@
+package lp
+
+// Basis is a warm-start handle: the simplex basis of a solved Problem,
+// captured in model-level terms.  For every standard-form row (a constraint
+// or a variable's upper-bound row) it records which column — a variable, a
+// free variable's negative part, a row's slack, or a row's artificial — was
+// basic there.  Because the pairs are keyed by identities rather than column
+// indices, a Basis stays meaningful after the Problem's bounds, right-hand
+// sides, coefficients or costs are mutated, and even after re-standardization
+// changes the column layout (e.g. a branch bound adds a new upper-bound row).
+//
+// A Basis is immutable once captured and safe to share between solves; it is
+// only ever read by SolveFrom.
+type Basis struct {
+	rows []rowIdent
+	cols []colIdent
+}
+
+// captureBasis records the current basis of this standard form.
+func (s *standard) captureBasis(basis []int) *Basis {
+	b := &Basis{rows: make([]rowIdent, s.m), cols: make([]colIdent, s.m)}
+	copy(b.rows, s.rowIDs)
+	for i, bc := range basis {
+		b.cols[i] = s.colIDs[bc]
+	}
+	return b
+}
+
+// installBasis maps a saved basis onto this standard form, returning one
+// basic column per row, or false when the saved basis does not translate:
+// a referenced column no longer exists (a variable stopped being free, the
+// row lost its artificial after an rhs sign change) or two rows map to the
+// same column.  Rows the saved basis does not know (new upper-bound rows
+// from branch bounds) get their own slack — or artificial when there is
+// none — which keeps the matrix nonsingular: new-row slacks extend the old
+// basis block-triangularly.
+func (s *standard) installBasis(w *Basis) ([]int, bool) {
+	if w == nil || len(w.rows) == 0 || s.m == 0 {
+		return nil, false
+	}
+	colOf := make(map[colIdent]int, s.nCols)
+	for c := 0; c < s.nCols; c++ {
+		colOf[s.colIDs[c]] = c
+	}
+	saved := make(map[rowIdent]colIdent, len(w.rows))
+	for i, r := range w.rows {
+		saved[r] = w.cols[i]
+	}
+	basis := make([]int, s.m)
+	used := make(map[int]bool, s.m)
+	for i := 0; i < s.m; i++ {
+		var c int
+		if cid, ok := saved[s.rowIDs[i]]; ok {
+			cc, ok2 := colOf[cid]
+			if !ok2 {
+				return nil, false
+			}
+			c = cc
+		} else if s.slackOf[i] >= 0 {
+			c = s.slackOf[i]
+		} else {
+			c = s.artOf[i]
+		}
+		if used[c] {
+			return nil, false
+		}
+		used[c] = true
+		basis[i] = c
+	}
+	return basis, true
+}

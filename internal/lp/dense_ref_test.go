@@ -1,0 +1,452 @@
+package lp
+
+// This file preserves the pre-refactor dense-tableau two-phase simplex as a
+// test-only reference implementation.  The revised-simplex production core
+// (standard.go, lu.go, revised.go) is pinned against it by the differential
+// test in differential_test.go: same Status on every randomized problem,
+// same optimal objective within 1e-9 on the feasible ones.  It is a frozen
+// copy of the solver that shipped through PR 3 — do not "improve" it; its
+// only job is to disagree loudly when the revised core drifts.
+
+import "math"
+
+// denseStandard is the dense standard form: minimize c·y s.t. A·y = b,
+// y ≥ 0, b ≥ 0, with A one dense row per constraint.
+type denseStandard struct {
+	a          [][]float64
+	b          []float64
+	c          []float64
+	nStruct    int
+	nTotal     int
+	artificial []int
+	shift      []float64
+	negPart    []int
+}
+
+// denseSolve is the reference Solve: identical model semantics, dense
+// tableau internals.
+func denseSolve(p *Problem) (*Solution, error) {
+	std := p.denseStandardize()
+	status, values, _ := std.simplex()
+	switch status {
+	case Infeasible:
+		return &Solution{Status: Infeasible}, ErrInfeasible
+	case Unbounded:
+		return &Solution{Status: Unbounded}, ErrUnbounded
+	case Optimal:
+		orig := std.recover(values)
+		obj := 0.0
+		for j, v := range p.vars {
+			obj += v.cost * orig[j]
+		}
+		return &Solution{Status: Optimal, Objective: obj, values: orig}, nil
+	default:
+		return nil, ErrNumeric
+	}
+}
+
+func (p *Problem) denseStandardize() *denseStandard {
+	n := len(p.vars)
+	std := &denseStandard{
+		shift:   make([]float64, n),
+		negPart: make([]int, n),
+	}
+
+	col := 0
+	colOf := make([]int, n)
+	for j, v := range p.vars {
+		colOf[j] = col
+		std.negPart[j] = -1
+		if math.IsInf(v.lb, -1) {
+			std.shift[j] = 0
+			col++
+			std.negPart[j] = col
+			col++
+		} else {
+			std.shift[j] = v.lb
+			col++
+		}
+	}
+	std.nStruct = col
+
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+
+	type row struct {
+		coeffs map[int]float64
+		op     Op
+		rhs    float64
+	}
+	rows := make([]row, 0, len(p.cons)+n)
+	for _, c := range p.cons {
+		r := row{coeffs: make(map[int]float64, len(c.terms)), op: c.op, rhs: c.rhs}
+		for _, t := range c.terms {
+			j := int(t.Var)
+			r.rhs -= t.Coeff * std.shift[j]
+			r.coeffs[colOf[j]] += t.Coeff
+			if std.negPart[j] >= 0 {
+				r.coeffs[std.negPart[j]] -= t.Coeff
+			}
+		}
+		rows = append(rows, r)
+	}
+	for j, v := range p.vars {
+		if math.IsInf(v.ub, 1) {
+			continue
+		}
+		r := row{coeffs: map[int]float64{colOf[j]: 1}, op: LE, rhs: v.ub - std.shift[j]}
+		if std.negPart[j] >= 0 {
+			r.coeffs[std.negPart[j]] = -1
+		}
+		rows = append(rows, r)
+	}
+
+	m := len(rows)
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	std.nTotal = std.nStruct + nSlack
+	totalCols := std.nTotal + m
+
+	std.a = make([][]float64, m)
+	std.b = make([]float64, m)
+	std.c = make([]float64, totalCols)
+	std.artificial = make([]int, m)
+
+	for j, v := range p.vars {
+		std.c[colOf[j]] = sign * v.cost
+		if std.negPart[j] >= 0 {
+			std.c[std.negPart[j]] = -sign * v.cost
+		}
+	}
+
+	slackCol := std.nStruct
+	artCol := std.nTotal
+	for i, r := range rows {
+		std.a[i] = make([]float64, totalCols)
+		for cidx, coef := range r.coeffs {
+			std.a[i][cidx] = coef
+		}
+		std.b[i] = r.rhs
+		op := r.op
+		if std.b[i] < 0 {
+			for j := range std.a[i] {
+				std.a[i][j] = -std.a[i][j]
+			}
+			std.b[i] = -std.b[i]
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			std.a[i][slackCol] = 1
+			std.artificial[i] = -1
+			slackCol++
+		case GE:
+			std.a[i][slackCol] = -1
+			slackCol++
+			std.a[i][artCol] = 1
+			std.artificial[i] = artCol
+			artCol++
+		case EQ:
+			std.a[i][artCol] = 1
+			std.artificial[i] = artCol
+			artCol++
+		}
+	}
+	used := artCol
+	for i := range std.a {
+		std.a[i] = std.a[i][:used]
+	}
+	std.c = std.c[:used]
+	return std
+}
+
+func (s *denseStandard) simplex() (Status, []float64, float64) {
+	m := len(s.a)
+	totalCols := 0
+	if m > 0 {
+		totalCols = len(s.a[0])
+	} else {
+		totalCols = len(s.c)
+	}
+	basis := make([]int, m)
+
+	for i := 0; i < m; i++ {
+		if s.artificial[i] >= 0 {
+			basis[i] = s.artificial[i]
+			continue
+		}
+		basis[i] = -1
+		for j := s.nStruct; j < s.nTotal; j++ {
+			if s.a[i][j] == 1 {
+				unique := true
+				for k := 0; k < m; k++ {
+					if k != i && s.a[k][j] != 0 {
+						unique = false
+						break
+					}
+				}
+				if unique {
+					basis[i] = j
+					break
+				}
+			}
+		}
+		if basis[i] == -1 {
+			basis[i] = s.artificial[i]
+		}
+	}
+
+	tab := make([][]float64, m)
+	for i := range tab {
+		tab[i] = make([]float64, totalCols)
+		copy(tab[i], s.a[i])
+	}
+	rhs := make([]float64, m)
+	copy(rhs, s.b)
+
+	hasArtificial := false
+	for i := range s.artificial {
+		if s.artificial[i] >= 0 {
+			hasArtificial = true
+			break
+		}
+	}
+
+	if hasArtificial {
+		phase1Cost := make([]float64, totalCols)
+		for i := range s.artificial {
+			if s.artificial[i] >= 0 {
+				phase1Cost[s.artificial[i]] = 1
+			}
+		}
+		status, obj := denseRunSimplex(tab, rhs, basis, phase1Cost, s.nTotal)
+		if status != Optimal {
+			return Infeasible, nil, 0
+		}
+		if obj > 1e-6 {
+			return Infeasible, nil, 0
+		}
+		for i := 0; i < m; i++ {
+			if basis[i] < s.nTotal {
+				continue
+			}
+			for j := 0; j < s.nTotal; j++ {
+				if math.Abs(tab[i][j]) > pivotEpsilon {
+					densePivot(tab, rhs, basis, i, j, s.nTotal)
+					break
+				}
+			}
+		}
+	}
+
+	status, obj := denseRunSimplex(tab, rhs, basis, s.c, s.nTotal)
+	if status != Optimal {
+		return status, nil, 0
+	}
+
+	values := make([]float64, totalCols)
+	for i, bi := range basis {
+		if bi >= 0 && bi < totalCols {
+			values[bi] = rhs[i]
+		}
+	}
+	return Optimal, values, obj
+}
+
+func denseRunSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPrice int) (Status, float64) {
+	m := len(tab)
+	if m == 0 {
+		for j := 0; j < nPrice && j < len(cost); j++ {
+			if cost[j] < -epsilon {
+				return Unbounded, 0
+			}
+		}
+		return Optimal, 0
+	}
+	n := len(tab[0])
+	maxIter := 30 * (m + n)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	blandAfter := 4 * (m + n)
+	const refresh = 64
+
+	reduced := make([]float64, nPrice)
+	basic := make([]bool, n)
+	for _, b := range basis {
+		basic[b] = true
+	}
+
+	recompute := func() {
+		copy(reduced, cost[:nPrice])
+		for i := 0; i < m; i++ {
+			yi := cost[basis[i]]
+			if yi == 0 {
+				continue
+			}
+			row := tab[i][:nPrice]
+			for j, a := range row {
+				if a != 0 {
+					reduced[j] -= yi * a
+				}
+			}
+		}
+	}
+	recompute()
+	stale := 0
+
+	pickEntering := func(useBland bool) int {
+		entering := -1
+		best := -epsilon
+		for j := 0; j < nPrice; j++ {
+			if basic[j] {
+				continue
+			}
+			r := reduced[j]
+			if useBland {
+				if r < -epsilon {
+					return j
+				}
+			} else if r < best {
+				best = r
+				entering = j
+			}
+		}
+		return entering
+	}
+
+	exactReduced := func(j int) float64 {
+		r := cost[j]
+		for i := 0; i < m; i++ {
+			yi := cost[basis[i]]
+			if yi == 0 {
+				continue
+			}
+			if a := tab[i][j]; a != 0 {
+				r -= yi * a
+			}
+		}
+		return r
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		useBland := iter > blandAfter
+		if stale >= refresh || (useBland && stale > 0) {
+			recompute()
+			stale = 0
+		}
+		entering := pickEntering(useBland)
+		if entering >= 0 && stale > 0 {
+			exact := exactReduced(entering)
+			if exact < -epsilon {
+				reduced[entering] = exact
+			} else {
+				recompute()
+				stale = 0
+				entering = pickEntering(useBland)
+			}
+		}
+		if entering == -1 && stale > 0 {
+			recompute()
+			stale = 0
+			entering = pickEntering(useBland)
+		}
+		if entering == -1 {
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				obj += cost[basis[i]] * rhs[i]
+			}
+			return Optimal, obj
+		}
+
+		leaving := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][entering] > pivotEpsilon {
+				ratio := rhs[i] / tab[i][entering]
+				if ratio < bestRatio-epsilon ||
+					(math.Abs(ratio-bestRatio) <= epsilon && (leaving == -1 || basis[i] < basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return Unbounded, 0
+		}
+		basic[basis[leaving]] = false
+		basic[entering] = true
+		densePivot(tab, rhs, basis, leaving, entering, nPrice)
+		rq := reduced[entering]
+		if rq != 0 {
+			row := tab[leaving][:nPrice]
+			for j, v := range row {
+				if v != 0 {
+					reduced[j] -= rq * v
+				}
+			}
+		}
+		reduced[entering] = 0
+		stale++
+	}
+	return Infeasible, 0
+}
+
+func densePivot(tab [][]float64, rhs []float64, basis []int, row, col, width int) {
+	m := len(tab)
+	pv := tab[row][col]
+	inv := 1 / pv
+	rowR := tab[row][:width]
+	for j := range rowR {
+		rowR[j] *= inv
+	}
+	rhs[row] *= inv
+	rowR[col] = 1
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		rowI := tab[i][:width]
+		for j, v := range rowR {
+			if v != 0 {
+				rowI[j] -= factor * v
+			}
+		}
+		rowI[col] = 0
+		rhs[i] -= factor * rhs[row]
+		if rhs[i] < 0 && rhs[i] > -1e-11 {
+			rhs[i] = 0
+		}
+	}
+	basis[row] = col
+}
+
+func (s *denseStandard) recover(values []float64) []float64 {
+	out := make([]float64, len(s.shift))
+	col := 0
+	for j := range s.shift {
+		v := values[col]
+		col++
+		if s.negPart[j] >= 0 {
+			v -= values[s.negPart[j]]
+			col++
+		}
+		out[j] = v + s.shift[j]
+	}
+	return out
+}

@@ -1,4 +1,4 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
+// Package lp implements a sparse revised-simplex solver for linear
 // programs.
 //
 // The paper formulates both the siting/provisioning problem and GreenNebula's
@@ -8,6 +8,32 @@
 // less-than, greater-than and equality constraints, variable lower/upper
 // bounds, and reports infeasibility and unboundedness.  internal/milp adds
 // branch and bound on top for integer variables.
+//
+// # Architecture: revised simplex over a sparse basis
+//
+// The solver stores the standard-form constraint matrix column-wise (CSC,
+// built once per solve in standardize) and never forms a dense tableau.
+// The basis matrix is LU-factorized by a Gilbert–Peierls sparse
+// factorization with partial pivoting (lu.go); each simplex pivot appends a
+// product-form eta vector instead of re-eliminating rows, and the basis is
+// refactorized from scratch every refactorEvery pivots to bound eta-file
+// growth and rounding drift (revised.go).  Entering columns are priced over
+// an incrementally maintained reduced-cost row (one sparse BTRAN of the
+// leaving unit vector plus one pass over the CSC nonzeros per pivot); every
+// nominee's reduced cost is re-verified exactly from its FTRAN column — a
+// byproduct of the ratio test — so pricing drift can cost a re-pick, never a
+// junk pivot, and optimality is only declared after an exact rebuild.
+//
+// # Warm starts
+//
+// A successful solve captures its optimal basis in model-level terms (the
+// Basis type: per row, which variable/slack/artificial is basic, keyed by
+// identities that survive re-standardization).  SolveFrom(basis) restarts
+// from it: after bound or right-hand-side mutations (SetBounds, SetRHS,
+// SetCoeff, SetCost) the old basis is typically primal-infeasible but still
+// dual-feasible, so a handful of dual-simplex pivots re-optimize in place of
+// a full two-phase solve.  internal/milp reuses each node's basis for its
+// children and internal/sched keeps one basis across scheduling rounds.
 package lp
 
 import (
@@ -57,6 +83,10 @@ const (
 	Optimal Status = iota + 1
 	Infeasible
 	Unbounded
+
+	// internal-only outcomes; never stored in a Solution.
+	statusNumeric // iteration limit / factorization failure
+	statusRetry   // warm start unusable: fall back to a cold solve
 )
 
 // String returns a human-readable status.
@@ -146,6 +176,25 @@ func (p *Problem) SetCost(v Var, cost float64) error {
 	return nil
 }
 
+// SetBounds overrides the bounds of an existing variable.  Re-solving after
+// a bound change warm-starts cleanly from the previous solve's Basis: bound
+// tightening keeps the old basis dual-feasible, so SolveFrom restarts with
+// the dual simplex instead of a from-scratch phase 1 (the branch-and-bound
+// pattern in internal/milp).
+func (p *Problem) SetBounds(v Var, lb, ub float64) error {
+	if int(v) < 0 || int(v) >= len(p.vars) {
+		return fmt.Errorf("lp: unknown variable %d", v)
+	}
+	if math.IsNaN(lb) || math.IsNaN(ub) {
+		return fmt.Errorf("lp: variable %q has NaN bounds", p.vars[v].name)
+	}
+	if ub < lb {
+		return fmt.Errorf("lp: variable %q has upper bound %v below lower bound %v", p.vars[v].name, ub, lb)
+	}
+	p.vars[v].lb, p.vars[v].ub = lb, ub
+	return nil
+}
+
 // AddConstraint adds a linear constraint Σ terms (op) rhs.
 func (p *Problem) AddConstraint(name string, op Op, rhs float64, terms ...Term) error {
 	if op != LE && op != GE && op != EQ {
@@ -168,6 +217,39 @@ func (p *Problem) AddConstraint(name string, op Op, rhs float64, terms ...Term) 
 	return nil
 }
 
+// SetRHS overrides the right-hand side of constraint i (in insertion order).
+// Together with SolveFrom it is the re-solve path of callers that keep one
+// Problem alive across rounds (internal/sched's partition LP).
+func (p *Problem) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.cons) {
+		return fmt.Errorf("lp: unknown constraint %d", i)
+	}
+	if math.IsNaN(rhs) {
+		return fmt.Errorf("lp: constraint %q has NaN right-hand side", p.cons[i].name)
+	}
+	p.cons[i].rhs = rhs
+	return nil
+}
+
+// SetCoeff overrides the coefficient of variable v in constraint i.  The
+// term must already exist: the mutation API only re-weights an existing
+// sparsity pattern, it never changes it.
+func (p *Problem) SetCoeff(i int, v Var, coeff float64) error {
+	if i < 0 || i >= len(p.cons) {
+		return fmt.Errorf("lp: unknown constraint %d", i)
+	}
+	if math.IsNaN(coeff) {
+		return fmt.Errorf("lp: constraint %q has NaN coefficient", p.cons[i].name)
+	}
+	for k := range p.cons[i].terms {
+		if p.cons[i].terms[k].Var == v {
+			p.cons[i].terms[k].Coeff = coeff
+			return nil
+		}
+	}
+	return fmt.Errorf("lp: constraint %q has no term for variable %d", p.cons[i].name, v)
+}
+
 // NumVariables returns the number of decision variables added so far.
 func (p *Problem) NumVariables() int { return len(p.vars) }
 
@@ -179,6 +261,7 @@ type Solution struct {
 	Status    Status
 	Objective float64
 	values    []float64
+	basis     *Basis
 }
 
 // Value returns the optimal value of a variable.
@@ -196,6 +279,16 @@ func (s *Solution) Values() []float64 {
 	return out
 }
 
+// Basis returns the optimal simplex basis of this solve, or nil when the
+// solve did not end Optimal.  Pass it to SolveFrom to warm-start a re-solve
+// of the same problem (or a mutated copy of it) from this vertex.
+func (s *Solution) Basis() *Basis {
+	if s == nil || s.Status != Optimal {
+		return nil
+	}
+	return s.basis
+}
+
 // Errors returned by Solve.
 var (
 	ErrInfeasible = errors.New("lp: problem is infeasible")
@@ -208,15 +301,24 @@ const (
 	pivotEpsilon = 1e-10
 )
 
-// Solve runs the two-phase simplex method.  On success the returned Solution
-// has Status Optimal; infeasible and unbounded problems return a Solution
-// with the corresponding status together with ErrInfeasible or ErrUnbounded.
-func (p *Problem) Solve() (*Solution, error) {
+// Solve runs the two-phase revised simplex method.  On success the returned
+// Solution has Status Optimal; infeasible and unbounded problems return a
+// Solution with the corresponding status together with ErrInfeasible or
+// ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveFrom(nil) }
+
+// SolveFrom is Solve warm-started from a previous solve's Basis.  The basis
+// is mapped onto the current standard form by model-level identity; if it no
+// longer translates (variables or constraints were added, a free variable
+// became bounded, the basis matrix went singular), SolveFrom silently falls
+// back to a cold solve, so a stale basis can cost time but never
+// correctness.  A nil basis is exactly Solve.
+func (p *Problem) SolveFrom(warm *Basis) (*Solution, error) {
 	std, err := p.standardize()
 	if err != nil {
 		return nil, err
 	}
-	status, values, obj := std.simplex()
+	status, values, basis := std.solve(warm)
 	switch status {
 	case Infeasible:
 		return &Solution{Status: Infeasible}, ErrInfeasible
@@ -226,531 +328,12 @@ func (p *Problem) Solve() (*Solution, error) {
 		orig := std.recover(values)
 		// Recompute the objective from the original variables so that
 		// lower-bound shifts and sense flips cannot skew it.
-		obj = 0
+		obj := 0.0
 		for j, v := range p.vars {
 			obj += v.cost * orig[j]
 		}
-		return &Solution{Status: Optimal, Objective: obj, values: orig}, nil
+		return &Solution{Status: Optimal, Objective: obj, values: orig, basis: basis}, nil
 	default:
 		return nil, ErrNumeric
 	}
-}
-
-// standard is the problem in computational standard form:
-// minimize c·y subject to A·y = b, y ≥ 0, b ≥ 0.
-type standard struct {
-	// a has one row per constraint over nTotal columns (structural +
-	// slack/surplus + artificial).
-	a [][]float64
-	b []float64
-	c []float64
-	// nStruct is the number of structural (shifted original) columns.
-	nStruct int
-	// nTotal excludes artificial columns.
-	nTotal int
-	// artificial[i] is the artificial column for row i, or -1.
-	artificial []int
-	// shift maps original variable index to its lower bound (y = x − lb).
-	shift []float64
-	// negPart[j] is the column index of the negative part of original
-	// variable j when it is free (split x = x⁺ − x⁻), or -1.
-	negPart []int
-}
-
-// standardize converts the model into computational standard form.
-func (p *Problem) standardize() (*standard, error) {
-	n := len(p.vars)
-	std := &standard{
-		shift:   make([]float64, n),
-		negPart: make([]int, n),
-	}
-
-	// Structural columns: one per variable, plus one extra per free
-	// variable (x = x⁺ − x⁻ when lb = −inf).
-	col := 0
-	colOf := make([]int, n)
-	for j, v := range p.vars {
-		colOf[j] = col
-		std.negPart[j] = -1
-		if math.IsInf(v.lb, -1) {
-			std.shift[j] = 0
-			col++
-			std.negPart[j] = col
-			col++
-		} else {
-			std.shift[j] = v.lb
-			col++
-		}
-	}
-	std.nStruct = col
-
-	sign := 1.0
-	if p.sense == Maximize {
-		sign = -1.0
-	}
-
-	// Rows: original constraints plus upper-bound rows.
-	type row struct {
-		coeffs map[int]float64
-		op     Op
-		rhs    float64
-	}
-	rows := make([]row, 0, len(p.cons)+n)
-	for _, c := range p.cons {
-		r := row{coeffs: make(map[int]float64, len(c.terms)), op: c.op, rhs: c.rhs}
-		for _, t := range c.terms {
-			j := int(t.Var)
-			r.rhs -= t.Coeff * std.shift[j]
-			r.coeffs[colOf[j]] += t.Coeff
-			if std.negPart[j] >= 0 {
-				r.coeffs[std.negPart[j]] -= t.Coeff
-			}
-		}
-		rows = append(rows, r)
-	}
-	for j, v := range p.vars {
-		if math.IsInf(v.ub, 1) {
-			continue
-		}
-		r := row{coeffs: map[int]float64{colOf[j]: 1}, op: LE, rhs: v.ub - std.shift[j]}
-		if std.negPart[j] >= 0 {
-			r.coeffs[std.negPart[j]] = -1
-		}
-		rows = append(rows, r)
-	}
-
-	m := len(rows)
-	// Count slack/surplus columns.
-	nSlack := 0
-	for _, r := range rows {
-		if r.op != EQ {
-			nSlack++
-		}
-	}
-	std.nTotal = std.nStruct + nSlack
-	totalCols := std.nTotal + m // worst case: one artificial per row
-
-	std.a = make([][]float64, m)
-	std.b = make([]float64, m)
-	std.c = make([]float64, totalCols)
-	std.artificial = make([]int, m)
-
-	// Objective over structural columns.
-	for j, v := range p.vars {
-		std.c[colOf[j]] = sign * v.cost
-		if std.negPart[j] >= 0 {
-			std.c[std.negPart[j]] = -sign * v.cost
-		}
-	}
-
-	slackCol := std.nStruct
-	artCol := std.nTotal
-	for i, r := range rows {
-		std.a[i] = make([]float64, totalCols)
-		for cidx, coef := range r.coeffs {
-			std.a[i][cidx] = coef
-		}
-		std.b[i] = r.rhs
-		op := r.op
-		// Normalize to b ≥ 0.
-		if std.b[i] < 0 {
-			for j := range std.a[i] {
-				std.a[i][j] = -std.a[i][j]
-			}
-			std.b[i] = -std.b[i]
-			switch op {
-			case LE:
-				op = GE
-			case GE:
-				op = LE
-			}
-		}
-		switch op {
-		case LE:
-			std.a[i][slackCol] = 1
-			std.artificial[i] = -1
-			// The slack itself can serve as the initial basic variable.
-			slackCol++
-		case GE:
-			std.a[i][slackCol] = -1
-			slackCol++
-			std.a[i][artCol] = 1
-			std.artificial[i] = artCol
-			artCol++
-		case EQ:
-			std.a[i][artCol] = 1
-			std.artificial[i] = artCol
-			artCol++
-		}
-	}
-	// Trim unused artificial columns.
-	used := artCol
-	for i := range std.a {
-		std.a[i] = std.a[i][:used]
-	}
-	std.c = std.c[:used]
-	return std, nil
-}
-
-// simplex runs phase 1 (if artificials exist) and phase 2 on the standard
-// form, returning the status, the values of all standard-form columns, and
-// the phase-2 objective.
-func (s *standard) simplex() (Status, []float64, float64) {
-	m := len(s.a)
-	totalCols := 0
-	if m > 0 {
-		totalCols = len(s.a[0])
-	} else {
-		totalCols = len(s.c)
-	}
-	basis := make([]int, m)
-
-	// Initial basis: slack where available, artificial otherwise.
-	for i := 0; i < m; i++ {
-		if s.artificial[i] >= 0 {
-			basis[i] = s.artificial[i]
-			continue
-		}
-		// Find the slack column of this row: the column in
-		// [nStruct, nTotal) with coefficient +1 and zeros elsewhere in
-		// that column is guaranteed by construction; locate it.
-		basis[i] = -1
-		for j := s.nStruct; j < s.nTotal; j++ {
-			if s.a[i][j] == 1 {
-				// Ensure this slack belongs to row i alone.
-				unique := true
-				for k := 0; k < m; k++ {
-					if k != i && s.a[k][j] != 0 {
-						unique = false
-						break
-					}
-				}
-				if unique {
-					basis[i] = j
-					break
-				}
-			}
-		}
-		if basis[i] == -1 {
-			// Should not happen by construction; fall back to an artificial.
-			basis[i] = s.artificial[i]
-		}
-	}
-
-	// Tableau: copy of A and b that will be pivoted in place.
-	tab := make([][]float64, m)
-	for i := range tab {
-		tab[i] = make([]float64, totalCols)
-		copy(tab[i], s.a[i])
-	}
-	rhs := make([]float64, m)
-	copy(rhs, s.b)
-
-	hasArtificial := false
-	for i := range s.artificial {
-		if s.artificial[i] >= 0 {
-			hasArtificial = true
-			break
-		}
-	}
-
-	if hasArtificial {
-		// Phase 1: minimize the sum of artificial variables.  Artificial
-		// columns start as basic unit vectors and, once driven out, are never
-		// allowed to re-enter, so pricing and pivoting can stop at nTotal in
-		// phase 1 too — the artificial block's tableau entries go stale but
-		// are never read again (only the basis bookkeeping references the
-		// column indices).  Restricting the entering candidates this way is
-		// the classic "drop departed artificials" rule: any feasible point
-		// has every artificial at zero, so the restricted phase-1 optimum
-		// still reaches zero exactly when the problem is feasible.
-		phase1Cost := make([]float64, totalCols)
-		for i := range s.artificial {
-			if s.artificial[i] >= 0 {
-				phase1Cost[s.artificial[i]] = 1
-			}
-		}
-		status, obj := runSimplex(tab, rhs, basis, phase1Cost, s.nTotal)
-		if status != Optimal {
-			return Infeasible, nil, 0
-		}
-		if obj > 1e-6 {
-			return Infeasible, nil, 0
-		}
-		// Drive any artificial still in the basis out of it (degenerate rows).
-		for i := 0; i < m; i++ {
-			if !isArtificialCol(s, basis[i]) {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < s.nTotal; j++ {
-				if math.Abs(tab[i][j]) > pivotEpsilon {
-					pivot(tab, rhs, basis, i, j, s.nTotal)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// The row is redundant; leave the artificial basic at zero.
-				continue
-			}
-		}
-	}
-
-	// Phase 2: original objective.  Artificial columns can never enter and
-	// are never read again, so pricing and pivoting stop at nTotal — their
-	// tableau entries go stale, which is ~30% less work per iteration on
-	// constraint-heavy problems like the scheduler's partition LP.
-	status, obj := runSimplex(tab, rhs, basis, s.c, s.nTotal)
-	if status != Optimal {
-		return status, nil, 0
-	}
-
-	values := make([]float64, totalCols)
-	for i, bi := range basis {
-		if bi >= 0 && bi < totalCols {
-			values[bi] = rhs[i]
-		}
-	}
-	return Optimal, values, obj
-}
-
-func isArtificialCol(s *standard, col int) bool { return col >= s.nTotal }
-
-// runSimplex performs primal simplex iterations on the tableau in place with
-// the given objective, returning the status and the objective value.  Only
-// the first nPrice columns are priced, eligible to enter, and updated by
-// pivots; columns beyond nPrice (the artificial block) go stale and must not
-// be read by the caller afterwards.
-//
-// The reduced-cost row is maintained incrementally: a pivot on (r, q)
-// updates it in O(nPrice) (red'_j = red_j − red_q · tab'[r][j], the same
-// elimination the tableau rows undergo) instead of recomputing the simplex
-// multipliers against every row, which halves the per-iteration work on
-// constraint-heavy problems like the scheduler's partition LP.  The
-// maintained row only nominates the entering column; before pivoting, the
-// nominee's reduced cost is recomputed exactly in O(m), and a nominee whose
-// exact reduced cost is not negative exposes drift, triggering a full exact
-// rebuild and a re-pick.  Every pivot therefore enters a genuinely improving
-// column — drift can cost a recomputation, never a junk pivot — and the row
-// is also rebuilt every refreshEvery pivots, whenever Bland's anti-cycling
-// rule is active, and before declaring optimality.
-func runSimplex(tab [][]float64, rhs []float64, basis []int, cost []float64, nPrice int) (Status, float64) {
-	m := len(tab)
-	if m == 0 {
-		// No rows: every standard-form variable is only bounded below by
-		// zero, so any negative cost direction is unbounded.
-		for j := 0; j < nPrice && j < len(cost); j++ {
-			if cost[j] < -epsilon {
-				return Unbounded, 0
-			}
-		}
-		return Optimal, 0
-	}
-	n := len(tab[0])
-	maxIter := 30 * (m + n)
-	if maxIter < 2000 {
-		maxIter = 2000
-	}
-	// Dantzig's rule stalls on highly degenerate provisioning LPs; switch to
-	// Bland's rule (which cannot cycle) once the iteration count suggests
-	// stalling.
-	blandAfter := 4 * (m + n)
-	const refreshEvery = 64
-
-	reduced := make([]float64, nPrice)
-	// basic[j] marks columns currently in the basis, maintained across
-	// pivots so entering-column selection does not rescan the basis per
-	// column (an O(m·n) cost per iteration on large tableaus).  Sized to
-	// the full width because bases can still hold artificial columns pinned
-	// at zero by degenerate rows.
-	basic := make([]bool, n)
-	for _, b := range basis {
-		basic[b] = true
-	}
-
-	// recompute rebuilds the reduced-cost row exactly: because the tableau
-	// is kept in canonical form (basis columns are unit vectors), the
-	// reduced cost of column j is cost[j] − Σ_i cost[basis[i]]·tab[i][j].
-	// Accumulating row-by-row keeps the memory access sequential (the
-	// tableau is row-major).
-	recompute := func() {
-		copy(reduced, cost[:nPrice])
-		for i := 0; i < m; i++ {
-			yi := cost[basis[i]]
-			if yi == 0 {
-				continue
-			}
-			row := tab[i][:nPrice]
-			for j, a := range row {
-				if a != 0 {
-					reduced[j] -= yi * a
-				}
-			}
-		}
-	}
-	recompute()
-	stale := 0
-
-	pickEntering := func(useBland bool) int {
-		entering := -1
-		best := -epsilon
-		for j := 0; j < nPrice; j++ {
-			if basic[j] {
-				continue
-			}
-			r := reduced[j]
-			if useBland {
-				if r < -epsilon {
-					return j
-				}
-			} else if r < best {
-				best = r
-				entering = j
-			}
-		}
-		return entering
-	}
-
-	// exactReduced recomputes one column's reduced cost from scratch.
-	exactReduced := func(j int) float64 {
-		r := cost[j]
-		for i := 0; i < m; i++ {
-			yi := cost[basis[i]]
-			if yi == 0 {
-				continue
-			}
-			if a := tab[i][j]; a != 0 {
-				r -= yi * a
-			}
-		}
-		return r
-	}
-
-	for iter := 0; iter < maxIter; iter++ {
-		useBland := iter > blandAfter
-		if stale >= refreshEvery || (useBland && stale > 0) {
-			recompute()
-			stale = 0
-		}
-		entering := pickEntering(useBland)
-		if entering >= 0 && stale > 0 {
-			// Verify the nominee exactly; drift in the maintained row may
-			// have promoted a non-improving column, and pivoting on one can
-			// wander off the optimal path or amplify rounding error.
-			exact := exactReduced(entering)
-			if exact < -epsilon {
-				reduced[entering] = exact
-			} else {
-				recompute()
-				stale = 0
-				entering = pickEntering(useBland)
-			}
-		}
-		if entering == -1 && stale > 0 {
-			// The maintained row says optimal; confirm against an exact
-			// recomputation before declaring victory, so drift can delay
-			// convergence but never fake it.
-			recompute()
-			stale = 0
-			entering = pickEntering(useBland)
-		}
-		if entering == -1 {
-			// Optimal: compute objective.
-			obj := 0.0
-			for i := 0; i < m; i++ {
-				obj += cost[basis[i]] * rhs[i]
-			}
-			return Optimal, obj
-		}
-
-		// Ratio test.
-		leaving := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < m; i++ {
-			if tab[i][entering] > pivotEpsilon {
-				ratio := rhs[i] / tab[i][entering]
-				if ratio < bestRatio-epsilon ||
-					(math.Abs(ratio-bestRatio) <= epsilon && (leaving == -1 || basis[i] < basis[leaving])) {
-					bestRatio = ratio
-					leaving = i
-				}
-			}
-		}
-		if leaving == -1 {
-			return Unbounded, 0
-		}
-		basic[basis[leaving]] = false
-		basic[entering] = true
-		pivot(tab, rhs, basis, leaving, entering, nPrice)
-		// Apply the same elimination to the reduced-cost row, using the
-		// already-normalized pivot row.
-		rq := reduced[entering]
-		if rq != 0 {
-			row := tab[leaving][:nPrice]
-			for j, v := range row {
-				if v != 0 {
-					reduced[j] -= rq * v
-				}
-			}
-		}
-		reduced[entering] = 0
-		stale++
-	}
-	// Iteration limit: report unbounded-like numeric trouble as infeasible
-	// conservatively; callers treat any non-optimal status as failure.
-	return Infeasible, 0
-}
-
-// pivot performs a Gauss-Jordan pivot on (row, col), updating only the
-// first width columns.
-func pivot(tab [][]float64, rhs []float64, basis []int, row, col, width int) {
-	m := len(tab)
-	pv := tab[row][col]
-	inv := 1 / pv
-	rowR := tab[row][:width]
-	for j := range rowR {
-		rowR[j] *= inv
-	}
-	rhs[row] *= inv
-	rowR[col] = 1 // avoid drift
-	for i := 0; i < m; i++ {
-		if i == row {
-			continue
-		}
-		factor := tab[i][col]
-		if factor == 0 {
-			continue
-		}
-		rowI := tab[i][:width]
-		// Skipping zero pivot-row entries is bit-identical (x −= f·0 is a
-		// no-op) and the slack/artificial block keeps the row sparse.
-		for j, v := range rowR {
-			if v != 0 {
-				rowI[j] -= factor * v
-			}
-		}
-		rowI[col] = 0
-		rhs[i] -= factor * rhs[row]
-		if rhs[i] < 0 && rhs[i] > -1e-11 {
-			rhs[i] = 0
-		}
-	}
-	basis[row] = col
-}
-
-// recover maps standard-form column values back to the original variables.
-func (s *standard) recover(values []float64) []float64 {
-	out := make([]float64, len(s.shift))
-	col := 0
-	for j := range s.shift {
-		v := values[col]
-		col++
-		if s.negPart[j] >= 0 {
-			v -= values[s.negPart[j]]
-			col++
-		}
-		out[j] = v + s.shift[j]
-	}
-	return out
 }

@@ -291,6 +291,125 @@ func TestMaximizeWithEqualityAndBounds(t *testing.T) {
 	}
 }
 
+// TestBealeCycling pins termination on the classic cycling LP: Beale's
+// example stalls forever under naive Dantzig pricing with its textbook
+// tie-breaking, so reaching the known optimum proves the anti-cycling
+// safeguards (lexicographic ratio-test ties, the Bland fallback) actually
+// engage.  min −3/4·x1 + 150·x2 − 1/50·x3 + 6·x4 has optimum −1/20 at
+// x = (1/25, 0, 1, 0).
+func TestBealeCycling(t *testing.T) {
+	p := NewProblem(Minimize)
+	x1 := p.MustVariable("x1", 0, Infinity, -0.75)
+	x2 := p.MustVariable("x2", 0, Infinity, 150)
+	x3 := p.MustVariable("x3", 0, Infinity, -0.02)
+	x4 := p.MustVariable("x4", 0, Infinity, 6)
+	if err := p.AddConstraint("r1", LE, 0,
+		Term{x1, 0.25}, Term{x2, -60}, Term{x3, -1.0 / 25}, Term{x4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("r2", LE, 0,
+		Term{x1, 0.5}, Term{x2, -90}, Term{x3, -1.0 / 50}, Term{x4, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("r3", LE, 1, Term{x3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Objective, -0.05, 1e-9) {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+	if !almostEqual(sol.Value(x1), 0.04, 1e-7) || !almostEqual(sol.Value(x3), 1, 1e-7) {
+		t.Errorf("solution = (%v, %v, %v, %v), want (0.04, 0, 1, 0)",
+			sol.Value(x1), sol.Value(x2), sol.Value(x3), sol.Value(x4))
+	}
+}
+
+// TestEmptyConstraints pins the zero-term rows the model API permits: a
+// satisfiable empty row is inert, an unsatisfiable one makes the problem
+// infeasible, and a zero-rhs empty GE row leaves a permanently redundant
+// artificial the solver must tolerate.
+func TestEmptyConstraints(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 1, 4, 1)
+	if err := p.AddConstraint("inert", LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("redundant", GE, 0); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve with inert empty rows: %v", err)
+	}
+	if !almostEqual(sol.Value(x), 1, 1e-9) {
+		t.Errorf("x = %v, want 1", sol.Value(x))
+	}
+
+	bad := NewProblem(Minimize)
+	bad.MustVariable("x", 0, 1, 1)
+	if err := bad.AddConstraint("impossible", GE, 3); err != nil {
+		t.Fatal(err)
+	}
+	if sol, err := bad.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("empty GE 3: want ErrInfeasible, got %v (status %v)", err, sol.Status)
+	}
+
+	badLE := NewProblem(Minimize)
+	badLE.MustVariable("x", 0, 1, 1)
+	if err := badLE.AddConstraint("impossible", LE, -2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := badLE.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("empty LE -2: want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestFreeVariableEdgeCases exercises the free-variable split (x = x⁺ − x⁻)
+// beyond the basic TestFreeVariable: a free variable pinned by an equality,
+// an unbounded free direction, and a free variable with a finite negative
+// upper bound (whose bound row needs sign normalization plus an artificial).
+func TestFreeVariableEdgeCases(t *testing.T) {
+	// Pinned by an equality with a bounded partner: x + y = 2, y ∈ [0, 5],
+	// minimize x → y = 5, x = −3.
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", math.Inf(-1), Infinity, 1)
+	y := p.MustVariable("y", 0, 5, 0)
+	if err := p.AddConstraint("eq", EQ, 2, Term{x, 1}, Term{y, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(sol.Value(x), -3, 1e-7) || !almostEqual(sol.Objective, -3, 1e-9) {
+		t.Errorf("x = %v (obj %v), want -3", sol.Value(x), sol.Objective)
+	}
+
+	// Unbounded free direction: no constraints at all.
+	ub := NewProblem(Minimize)
+	ub.MustVariable("x", math.Inf(-1), Infinity, 1)
+	if usol, err := ub.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("free unconstrained: want ErrUnbounded, got %v (status %v)", err, usol.Status)
+	}
+
+	// Free variable with a negative upper bound: min −x, x ≤ −3 → x = −3.
+	neg := NewProblem(Minimize)
+	nx := neg.MustVariable("x", math.Inf(-1), -3, -1)
+	if err := neg.AddConstraint("floor", GE, -10, Term{nx, 1}); err != nil {
+		t.Fatal(err)
+	}
+	nsol, err := neg.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(nsol.Value(nx), -3, 1e-7) {
+		t.Errorf("x = %v, want -3", nsol.Value(nx))
+	}
+}
+
 // TestRandomLPsAgainstBruteForce cross-checks the simplex against a fine grid
 // search on small random 2-variable problems with bounded boxes.
 func TestRandomLPsAgainstBruteForce(t *testing.T) {

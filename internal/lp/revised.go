@@ -1,0 +1,736 @@
+package lp
+
+import "math"
+
+// Revised-simplex tuning.
+const (
+	// refactorEvery bounds the eta file: after this many pivots the basis
+	// is refactorized from scratch, the basic solution recomputed exactly,
+	// and the reduced-cost row rebuilt, so product-form drift is capped.
+	refactorEvery = 64
+	// refreshEvery bounds how stale the incrementally maintained
+	// reduced-cost row may get between exact rebuilds.
+	refreshEvery = 64
+	// feasTol is the primal feasibility tolerance on basic values.
+	feasTol = 1e-9
+	// dualTol is the dual feasibility tolerance for accepting a warm basis
+	// as a dual-simplex starting point.
+	dualTol = 1e-7
+	// artValueTol is the largest basic artificial value a finished solve may
+	// carry before the result is rejected (phase-1 objective check, and the
+	// warm-start safety net).
+	artValueTol = 1e-6
+)
+
+// etaFile is the product-form update sequence: after pivot k on basis
+// position r with FTRAN column d, the new basis inverse is Fₖ⁻¹·B⁻¹ with
+// Fₖ = I + (d − e_r)·e_rᵀ, so FTRAN applies the Fₖ⁻¹ in order and BTRAN
+// applies their transposes in reverse.  Vectors are stored sparse (pivot
+// value split out), indexed by basis position.
+type etaFile struct {
+	pos []int
+	piv []float64
+	ptr []int
+	idx []int
+	val []float64
+}
+
+func (e *etaFile) reset() {
+	e.pos = e.pos[:0]
+	e.piv = e.piv[:0]
+	e.ptr = append(e.ptr[:0], 0)
+	e.idx = e.idx[:0]
+	e.val = e.val[:0]
+}
+
+func (e *etaFile) count() int { return len(e.pos) }
+
+// push records the eta of a pivot on position r with FTRAN column w.
+func (e *etaFile) push(r int, w []float64) {
+	e.pos = append(e.pos, r)
+	e.piv = append(e.piv, w[r])
+	for i, v := range w {
+		if v != 0 && i != r {
+			e.idx = append(e.idx, i)
+			e.val = append(e.val, v)
+		}
+	}
+	e.ptr = append(e.ptr, len(e.idx))
+}
+
+// ftran applies the eta inverses in order: x ← Fₖ⁻¹·x.
+func (e *etaFile) ftran(x []float64) {
+	for k := 0; k < len(e.pos); k++ {
+		r := e.pos[k]
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		t := xr / e.piv[k]
+		x[r] = t
+		for p := e.ptr[k]; p < e.ptr[k+1]; p++ {
+			x[e.idx[p]] -= t * e.val[p]
+		}
+	}
+}
+
+// btran applies the eta inverse transposes in reverse order: y ← Fₖ⁻ᵀ·y.
+func (e *etaFile) btran(y []float64) {
+	for k := len(e.pos) - 1; k >= 0; k-- {
+		s := 0.0
+		for p := e.ptr[k]; p < e.ptr[k+1]; p++ {
+			if yv := y[e.idx[p]]; yv != 0 {
+				s += e.val[p] * yv
+			}
+		}
+		r := e.pos[k]
+		y[r] = (y[r] - s) / e.piv[k]
+	}
+}
+
+// solver holds the revised-simplex working state for one standard form.
+type solver struct {
+	std *standard
+	m   int
+
+	basis []int  // basis[i] = column basic at position i
+	basic []bool // per column
+	xB    []float64
+
+	lu  luFactor
+	eta etaFile
+
+	cost    []float64 // active objective (phase 1 or phase 2), len nCols
+	reduced []float64 // maintained reduced costs, len nTotal
+	stale   int       // pivots since the last exact rebuild
+
+	sinceRefactor int
+
+	// scratch, len m.
+	w, y, rowScratch []float64
+}
+
+func newSolver(std *standard) *solver {
+	m := std.m
+	return &solver{
+		std:        std,
+		m:          m,
+		basis:      make([]int, m),
+		basic:      make([]bool, std.nCols),
+		xB:         make([]float64, m),
+		reduced:    make([]float64, std.nTotal),
+		w:          make([]float64, m),
+		y:          make([]float64, m),
+		rowScratch: make([]float64, m),
+	}
+}
+
+func (s *solver) setBasis(basis []int) {
+	copy(s.basis, basis)
+	for j := range s.basic {
+		s.basic[j] = false
+	}
+	for _, b := range basis {
+		s.basic[b] = true
+	}
+}
+
+// ftranVec solves B·out = x, with x indexed by row and out by basis
+// position.  x is consumed as scratch.
+func (s *solver) ftranVec(x, out []float64) {
+	f := &s.lu
+	for k := 0; k < s.m; k++ {
+		s.y[k] = x[f.prow[k]]
+	}
+	f.lsolve(s.y)
+	f.usolve(s.y)
+	for k := 0; k < s.m; k++ {
+		out[f.q[k]] = s.y[k]
+	}
+	s.eta.ftran(out)
+}
+
+// ftranCol solves B·w = A_j for standard-form column j, into s.w.
+func (s *solver) ftranCol(j int) []float64 {
+	rows, vals := s.std.col(j)
+	x := s.rowScratch
+	for i := range x {
+		x[i] = 0
+	}
+	for k, r := range rows {
+		x[r] = vals[k]
+	}
+	s.ftranVec(x, s.w)
+	return s.w
+}
+
+// btranVec solves Bᵀ·out = c, with c indexed by basis position and out by
+// row.  c is not modified.
+func (s *solver) btranVec(c, out []float64) {
+	f := &s.lu
+	w := s.y
+	copy(w, c)
+	s.eta.btran(w)
+	for k := 0; k < s.m; k++ {
+		s.rowScratch[k] = w[f.q[k]]
+	}
+	copy(w, s.rowScratch)
+	f.utsolve(w)
+	f.ltsolve(w)
+	for k := 0; k < s.m; k++ {
+		out[f.prow[k]] = w[k]
+	}
+}
+
+// btranUnit solves Bᵀ·rho = e_p for basis position p: rho is row p of the
+// basis inverse, indexed by row — the pricing vector of the incremental
+// reduced-cost update and of the dual-simplex row scan.
+func (s *solver) btranUnit(p int, out []float64) {
+	c := s.rowScratch
+	for i := range c {
+		c[i] = 0
+	}
+	c[p] = 1
+	s.btranVec(c, out)
+}
+
+// refactorize rebuilds the LU factors of the current basis, clears the eta
+// file and recomputes the basic solution exactly.
+func (s *solver) refactorize() error {
+	if err := s.lu.factorize(s.std, s.basis); err != nil {
+		return err
+	}
+	s.eta.reset()
+	s.sinceRefactor = 0
+	copy(s.rowScratch, s.std.b)
+	s.ftranVec(s.rowScratch, s.xB)
+	s.clampXB()
+	return nil
+}
+
+// clampXB zeroes roundoff-negative basic values within the feasibility
+// tolerance (the revised-simplex analogue of the dense pivot's rhs clamp).
+func (s *solver) clampXB() {
+	for i, v := range s.xB {
+		if v < 0 && v > -feasTol {
+			s.xB[i] = 0
+		}
+	}
+}
+
+// rebuildReduced recomputes the reduced-cost row exactly: one BTRAN of the
+// basic costs, then one pass over the CSC nonzeros.
+func (s *solver) rebuildReduced() {
+	cB := s.rowScratch
+	for k := 0; k < s.m; k++ {
+		cB[k] = s.cost[s.basis[k]]
+	}
+	dual := s.w // safe: callers treat w as dead across rebuilds
+	s.btranVec(cB, dual)
+	for j := 0; j < s.std.nTotal; j++ {
+		s.reduced[j] = s.cost[j] - s.std.colDot(j, dual)
+	}
+	s.stale = 0
+}
+
+// pickEntering nominates the entering column from the maintained
+// reduced-cost row: Dantzig's most-negative rule, or Bland's least-index
+// rule once the iteration count suggests degenerate stalling.
+func (s *solver) pickEntering(useBland bool) int {
+	entering := -1
+	best := -epsilon
+	for j := 0; j < s.std.nTotal; j++ {
+		if s.basic[j] {
+			continue
+		}
+		r := s.reduced[j]
+		if useBland {
+			if r < -epsilon {
+				return j
+			}
+		} else if r < best {
+			best = r
+			entering = j
+		}
+	}
+	return entering
+}
+
+// applyPivot performs the basis change for entering column q leaving at
+// position p with FTRAN column w: update the basic solution, append the
+// eta, and swap the basis bookkeeping.
+func (s *solver) applyPivot(q, p int, w []float64) {
+	theta := s.xB[p] / w[p]
+	for i := range s.xB {
+		if i == p || w[i] == 0 {
+			continue
+		}
+		s.xB[i] -= theta * w[i]
+		if s.xB[i] < 0 && s.xB[i] > -feasTol {
+			s.xB[i] = 0
+		}
+	}
+	s.xB[p] = theta
+	s.eta.push(p, w)
+	s.basic[s.basis[p]] = false
+	s.basic[q] = true
+	s.basis[p] = q
+	s.sinceRefactor++
+}
+
+// updateReducedAfterPivot maintains the reduced-cost row across the pivot
+// that entered q at position p with exact reduced cost dq: with ρ = row p of
+// the new basis inverse, d'_j = d_j − dq·(ρ·A_j).  One sparse BTRAN plus one
+// pass over the CSC nonzeros — the revised-simplex analogue of the dense
+// tableau's reduced-row elimination.
+func (s *solver) updateReducedAfterPivot(q int, p int, dq float64) {
+	rho := s.w // w's FTRAN contents are dead once the pivot is applied
+	s.btranUnit(p, rho)
+	for j := 0; j < s.std.nTotal; j++ {
+		if s.basic[j] {
+			continue
+		}
+		if alpha := s.std.colDot(j, rho); alpha != 0 {
+			s.reduced[j] -= dq * alpha
+		}
+	}
+	s.reduced[q] = 0
+	s.stale++
+}
+
+// objective returns the active-cost objective of the current basic solution.
+func (s *solver) objective() float64 {
+	obj := 0.0
+	for i := 0; i < s.m; i++ {
+		obj += s.cost[s.basis[i]] * s.xB[i]
+	}
+	return obj
+}
+
+// primal runs primal simplex iterations from the current (primal-feasible)
+// basis until optimality, unboundedness or the iteration limit.  Artificial
+// columns are never priced: they can leave the basis but never re-enter.
+func (s *solver) primal() Status {
+	m, n := s.m, s.std.nCols
+	maxIter := 30 * (m + n)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	blandAfter := 4 * (m + n)
+
+	s.rebuildReduced()
+	for iter := 0; iter < maxIter; iter++ {
+		useBland := iter > blandAfter
+		if s.stale >= refreshEvery || (useBland && s.stale > 0) {
+			s.rebuildReduced()
+		}
+		q := s.pickEntering(useBland)
+		if q < 0 && s.stale > 0 {
+			// The maintained row says optimal; confirm exactly so drift can
+			// delay convergence but never fake it.
+			s.rebuildReduced()
+			q = s.pickEntering(useBland)
+		}
+		if q < 0 {
+			return Optimal
+		}
+
+		w := s.ftranCol(q)
+		// Exact reduced cost of the nominee, free from the FTRAN column:
+		// d_q = c_q − c_B·w.  A nominee the maintained row promoted but the
+		// exact value rejects is neutralized and re-picked — drift can cost
+		// an FTRAN, never a non-improving pivot.
+		dq := s.cost[q]
+		for i := 0; i < m; i++ {
+			if ci := s.cost[s.basis[i]]; ci != 0 && w[i] != 0 {
+				dq -= ci * w[i]
+			}
+		}
+		if dq >= -epsilon {
+			s.reduced[q] = dq
+			continue
+		}
+
+		// Ratio test.  The default is a Harris-style two-pass: bound the
+		// step length with the feasibility tolerance, then among the rows
+		// that stay within the bound pick the LARGEST pivot element.  On
+		// badly scaled problems (the exact MILP's big-M rows) the FTRAN
+		// column can carry phantom entries — pure eta-file roundoff just
+		// above pivotEpsilon — and pivoting on one makes the basis exactly
+		// singular; preferring the largest eligible pivot never selects a
+		// phantom when a real entry is available.  Under Bland's rule the
+		// classic exact test with smallest-index ties is used instead, as
+		// its termination guarantee requires.
+		leaving := -1
+		if useBland {
+			bestRatio := math.Inf(1)
+			for i := 0; i < m; i++ {
+				wi := w[i]
+				if wi > pivotEpsilon {
+					ratio := s.xB[i] / wi
+					if ratio < bestRatio-epsilon ||
+						(math.Abs(ratio-bestRatio) <= epsilon && (leaving == -1 || s.basis[i] < s.basis[leaving])) {
+						bestRatio = ratio
+						leaving = i
+					}
+				}
+			}
+		} else {
+			thetaMax := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if wi := w[i]; wi > pivotEpsilon {
+					if r := (s.xB[i] + feasTol) / wi; r < thetaMax {
+						thetaMax = r
+					}
+				}
+			}
+			bestW := 0.0
+			for i := 0; i < m; i++ {
+				wi := w[i]
+				if wi <= pivotEpsilon || s.xB[i]/wi > thetaMax {
+					continue
+				}
+				if wi > bestW || (wi == bestW && (leaving == -1 || s.basis[i] < s.basis[leaving])) {
+					bestW = wi
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return Unbounded
+		}
+
+		s.applyPivot(q, leaving, w)
+		if s.sinceRefactor >= refactorEvery {
+			if err := s.refactorize(); err != nil {
+				return statusNumeric
+			}
+			s.rebuildReduced()
+		} else {
+			s.updateReducedAfterPivot(q, leaving, dq)
+		}
+	}
+	return statusNumeric
+}
+
+// dual runs dual simplex iterations from the current (dual-feasible) basis
+// until primal feasibility or a proof of infeasibility.  It is the
+// warm-start workhorse: after bound/rhs mutations the previous optimal
+// basis stays dual-feasible and a few dual pivots restore primal
+// feasibility.  Dual iterations rebuild the reduced-cost row exactly each
+// time — warm restarts take a handful of pivots, so exactness beats
+// maintenance here.
+func (s *solver) dual() Status {
+	m, n := s.m, s.std.nCols
+	maxIter := 30 * (m + n)
+	if maxIter < 2000 {
+		maxIter = 2000
+	}
+	rho := make([]float64, m)
+
+	s.rebuildReduced()
+	for iter := 0; iter < maxIter; iter++ {
+		// Leaving: most negative basic value.
+		p := -1
+		worst := -feasTol
+		for i, v := range s.xB {
+			if v < worst {
+				worst = v
+				p = i
+			}
+		}
+		if p < 0 {
+			return Optimal
+		}
+
+		s.btranUnit(p, rho)
+
+		// Entering: dual ratio test over the eligible columns of row p.
+		q := -1
+		best := math.Inf(1)
+		for j := 0; j < s.std.nTotal; j++ {
+			if s.basic[j] {
+				continue
+			}
+			alpha := s.std.colDot(j, rho)
+			if alpha >= -pivotEpsilon {
+				continue
+			}
+			d := s.reduced[j]
+			if d < 0 {
+				d = 0
+			}
+			ratio := d / -alpha
+			if ratio < best-epsilon || (math.Abs(ratio-best) <= epsilon && (q == -1 || j < q)) {
+				best = ratio
+				q = j
+			}
+		}
+		if q < 0 {
+			// Row p proves infeasibility — but only trust fresh factors:
+			// with etas stacked up, refactorize and re-verify first.
+			if s.eta.count() > 0 {
+				if err := s.refactorize(); err != nil {
+					return statusNumeric
+				}
+				s.rebuildReduced()
+				continue
+			}
+			return Infeasible
+		}
+
+		w := s.ftranCol(q)
+		if w[p] >= -pivotEpsilon {
+			// FTRAN disagrees with the BTRAN row — numerical drift.
+			// Refactorize and retry the iteration.
+			if s.sinceRefactor == 0 {
+				return statusNumeric
+			}
+			if err := s.refactorize(); err != nil {
+				return statusNumeric
+			}
+			s.rebuildReduced()
+			continue
+		}
+
+		s.applyPivot(q, p, w)
+		if s.sinceRefactor >= refactorEvery {
+			if err := s.refactorize(); err != nil {
+				return statusNumeric
+			}
+		}
+		s.rebuildReduced()
+	}
+	return statusNumeric
+}
+
+// driveOutArtificials pivots basic artificial columns out of the basis after
+// phase 1 where possible; rows where no structural or slack column has a
+// nonzero entry are redundant and keep their artificial basic at zero.
+func (s *solver) driveOutArtificials() error {
+	rho := make([]float64, s.m)
+	for p := 0; p < s.m; p++ {
+		if s.basis[p] < s.std.nTotal {
+			continue
+		}
+		s.btranUnit(p, rho)
+		found := -1
+		for j := 0; j < s.std.nTotal; j++ {
+			if s.basic[j] {
+				continue
+			}
+			if alpha := s.std.colDot(j, rho); math.Abs(alpha) > pivotEpsilon {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			continue
+		}
+		w := s.ftranCol(found)
+		wMax := 0.0
+		for _, v := range w {
+			if a := math.Abs(v); a > wMax {
+				wMax = a
+			}
+		}
+		// Both an absolute and a relative guard: a pivot that is tiny
+		// relative to the column is likely eta-file roundoff, and pivoting
+		// on it can make the basis numerically singular.
+		if math.Abs(w[p]) <= pivotEpsilon || math.Abs(w[p]) <= 1e-9*wMax {
+			continue
+		}
+		s.applyPivot(found, p, w)
+		if s.sinceRefactor >= refactorEvery {
+			if err := s.refactorize(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// values scatters the basic solution into a standard-form column vector.
+func (s *solver) values() []float64 {
+	out := make([]float64, s.std.nCols)
+	for i, b := range s.basis {
+		v := s.xB[i]
+		if v < 0 {
+			v = 0
+		}
+		out[b] = v
+	}
+	return out
+}
+
+// artificialsClean reports whether every basic artificial sits at ~zero, the
+// condition for the basic solution to be feasible for the original problem.
+func (s *solver) artificialsClean() bool {
+	for i, b := range s.basis {
+		if b >= s.std.nTotal && s.xB[i] > artValueTol {
+			return false
+		}
+	}
+	return true
+}
+
+// solve runs the revised simplex on this standard form, optionally
+// warm-started, returning the status, the standard-form values and (when
+// Optimal) the captured basis.
+func (s *standard) solve(warm *Basis) (Status, []float64, *Basis) {
+	if s.m == 0 {
+		// No rows: every standard-form variable is only bounded below by
+		// zero, so any negative cost direction is unbounded.
+		for j := 0; j < s.nTotal; j++ {
+			if s.c[j] < -epsilon {
+				return Unbounded, nil, nil
+			}
+		}
+		return Optimal, make([]float64, s.nCols), &Basis{}
+	}
+
+	if warm != nil {
+		if basisArr, ok := s.installBasis(warm); ok {
+			sv := newSolver(s)
+			if st, vals := sv.solveWarm(basisArr); st != statusRetry {
+				if st == Optimal {
+					return st, vals, s.captureBasis(sv.basis)
+				}
+				return st, vals, nil
+			}
+		}
+	}
+
+	sv := newSolver(s)
+	st, vals := sv.solveCold()
+	if st == Optimal {
+		return st, vals, s.captureBasis(sv.basis)
+	}
+	return st, vals, nil
+}
+
+// solveWarm restarts from a mapped basis: factorize it, then go straight to
+// primal phase 2 if the basic solution is still feasible, or re-optimize
+// with the dual simplex if it is at least dual-feasible.  statusRetry means
+// the warm basis was unusable and the caller should solve cold.
+func (sv *solver) solveWarm(basisArr []int) (Status, []float64) {
+	sv.setBasis(basisArr)
+	sv.cost = sv.std.c
+	if err := sv.refactorize(); err != nil {
+		return statusRetry, nil
+	}
+
+	primalFeasible := true
+	for _, v := range sv.xB {
+		if v < 0 {
+			primalFeasible = false
+			break
+		}
+	}
+	if !primalFeasible {
+		sv.rebuildReduced()
+		for j := 0; j < sv.std.nTotal; j++ {
+			if !sv.basic[j] && sv.reduced[j] < -dualTol {
+				return statusRetry, nil // neither primal- nor dual-feasible
+			}
+		}
+		switch st := sv.dual(); st {
+		case Optimal:
+			// primal-feasible now; fall through to the phase-2 cleanup.
+			sv.clampXB()
+		case Infeasible:
+			return Infeasible, nil
+		default:
+			return statusRetry, nil
+		}
+	}
+
+	// Phase-2 cleanup: verifies optimality (usually zero iterations after
+	// the dual simplex) and fixes any residual dual infeasibility.
+	switch st := sv.primal(); st {
+	case Optimal:
+		if !sv.artificialsClean() {
+			// A basic artificial drifted off zero: the "solution" is not
+			// feasible for the original problem.  Let the cold path's
+			// phase 1 settle it.
+			return statusRetry, nil
+		}
+		return Optimal, sv.values()
+	case Unbounded:
+		if !sv.artificialsClean() {
+			// The ray was found from a point where a basic artificial sits
+			// at a positive value — a recession direction of the
+			// artificial-relaxed problem, not necessarily of the original.
+			// Only the cold path's phase 1 can tell unbounded from
+			// infeasible here.
+			return statusRetry, nil
+		}
+		return Unbounded, nil
+	default:
+		return statusRetry, nil
+	}
+}
+
+// solveCold runs the classic two-phase method from the all-slack/artificial
+// starting basis.
+func (sv *solver) solveCold() (Status, []float64) {
+	st := sv.std
+	basisArr := make([]int, st.m)
+	hasArt := false
+	for i := 0; i < st.m; i++ {
+		// LE rows start on their slack; GE rows' surplus has the wrong sign
+		// for b ≥ 0, so GE and EQ rows start on their artificial.
+		if st.slackOf[i] >= 0 && st.artOf[i] < 0 {
+			basisArr[i] = st.slackOf[i]
+		} else {
+			basisArr[i] = st.artOf[i]
+			hasArt = true
+		}
+	}
+	sv.setBasis(basisArr)
+	if err := sv.refactorize(); err != nil {
+		return statusNumeric, nil
+	}
+
+	if hasArt {
+		// Phase 1: minimize the sum of artificial values.  The starting
+		// basis is primal-feasible for this objective by construction
+		// (xB = b ≥ 0), and artificials never re-enter once driven out.
+		phase1 := make([]float64, st.nCols)
+		for j := st.nTotal; j < st.nCols; j++ {
+			phase1[j] = 1
+		}
+		sv.cost = phase1
+		switch s := sv.primal(); s {
+		case Optimal:
+		case statusNumeric:
+			// Factorization failure or iteration limit: report honestly as
+			// a numerical failure, never as a (possibly wrong) infeasible.
+			return statusNumeric, nil
+		default:
+			// Phase 1 is bounded below by zero; Unbounded here means the
+			// pricing went numerically sideways.
+			return Infeasible, nil
+		}
+		if sv.objective() > artValueTol {
+			return Infeasible, nil
+		}
+		if err := sv.driveOutArtificials(); err != nil {
+			return statusNumeric, nil
+		}
+	}
+
+	sv.cost = st.c
+	switch s := sv.primal(); s {
+	case Optimal:
+		return Optimal, sv.values()
+	case Unbounded:
+		return Unbounded, nil
+	default:
+		// Factorization failure or iteration limit: report honestly as a
+		// numerical failure.  Mapping it to Infeasible would let callers
+		// that prune on infeasibility (the branch-and-bound loop) silently
+		// discard a feasible subtree.
+		return statusNumeric, nil
+	}
+}

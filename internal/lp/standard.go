@@ -1,0 +1,294 @@
+package lp
+
+import "math"
+
+// Standard-form column and row identities.  The revised simplex works on
+// column indices of one particular standardization; a Basis must survive
+// re-standardization after bound/rhs mutations, so it stores these
+// model-level identities instead and installBasis maps them back to column
+// indices.
+
+const (
+	identStruct = int8(iota) // structural (positive-part) column of variable idx
+	identNeg                 // negative part of free variable idx
+	identSlack               // slack/surplus column of a row
+	identArt                 // artificial column of a row
+)
+
+// rowIdent names a standard-form row: either original constraint idx or the
+// upper-bound row of variable idx.
+type rowIdent struct {
+	bound bool
+	idx   int
+}
+
+// colIdent names a standard-form column.  For identSlack/identArt, bound and
+// idx identify the row the column belongs to.
+type colIdent struct {
+	kind  int8
+	bound bool
+	idx   int
+}
+
+// standard is the problem in computational standard form —
+// minimize c·y subject to A·y = b, y ≥ 0, b ≥ 0 — with A stored
+// column-wise (CSC): column j's nonzeros are rowIdx/vals[colPtr[j]:
+// colPtr[j+1]], row indices ascending.  Columns are laid out structural
+// [0, nStruct), slack/surplus [nStruct, nTotal), artificial [nTotal, nCols).
+type standard struct {
+	m       int
+	nStruct int
+	nTotal  int
+	nCols   int
+
+	colPtr []int
+	rowIdx []int
+	vals   []float64
+
+	b []float64
+	c []float64 // phase-2 objective (sense-normalized), zero on slack/artificial
+
+	// slackOf[i]/artOf[i] is row i's slack/artificial column, or -1.
+	slackOf []int
+	artOf   []int
+
+	rowIDs []rowIdent
+	colIDs []colIdent
+
+	// shift maps original variable index to its lower bound (y = x − lb).
+	shift []float64
+	// negPart[j] is the column index of the negative part of original
+	// variable j when it is free (split x = x⁺ − x⁻), or -1.
+	negPart []int
+}
+
+// col returns column j's nonzeros.
+func (s *standard) col(j int) ([]int, []float64) {
+	lo, hi := s.colPtr[j], s.colPtr[j+1]
+	return s.rowIdx[lo:hi], s.vals[lo:hi]
+}
+
+// colDot returns column j · y, with y indexed by row.
+func (s *standard) colDot(j int, y []float64) float64 {
+	rows, vals := s.col(j)
+	d := 0.0
+	for k, r := range rows {
+		if yv := y[r]; yv != 0 {
+			d += vals[k] * yv
+		}
+	}
+	return d
+}
+
+// standardize converts the model into computational standard form.
+func (p *Problem) standardize() (*standard, error) {
+	n := len(p.vars)
+	std := &standard{
+		shift:   make([]float64, n),
+		negPart: make([]int, n),
+	}
+
+	// Structural columns: one per variable, plus one extra per free
+	// variable (x = x⁺ − x⁻ when lb = −inf).
+	col := 0
+	colOf := make([]int, n)
+	for j, v := range p.vars {
+		colOf[j] = col
+		std.negPart[j] = -1
+		if math.IsInf(v.lb, -1) {
+			std.shift[j] = 0
+			col++
+			std.negPart[j] = col
+			col++
+		} else {
+			std.shift[j] = v.lb
+			col++
+		}
+	}
+	std.nStruct = col
+
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+
+	// Rows: original constraints plus upper-bound rows.
+	type row struct {
+		coeffs map[int]float64
+		op     Op
+		rhs    float64
+		id     rowIdent
+	}
+	rows := make([]row, 0, len(p.cons)+n)
+	for ci, c := range p.cons {
+		r := row{coeffs: make(map[int]float64, len(c.terms)), op: c.op, rhs: c.rhs, id: rowIdent{idx: ci}}
+		for _, t := range c.terms {
+			j := int(t.Var)
+			r.rhs -= t.Coeff * std.shift[j]
+			r.coeffs[colOf[j]] += t.Coeff
+			if std.negPart[j] >= 0 {
+				r.coeffs[std.negPart[j]] -= t.Coeff
+			}
+		}
+		rows = append(rows, r)
+	}
+	for j, v := range p.vars {
+		if math.IsInf(v.ub, 1) {
+			continue
+		}
+		r := row{coeffs: map[int]float64{colOf[j]: 1}, op: LE, rhs: v.ub - std.shift[j],
+			id: rowIdent{bound: true, idx: j}}
+		if std.negPart[j] >= 0 {
+			r.coeffs[std.negPart[j]] = -1
+		}
+		rows = append(rows, r)
+	}
+
+	m := len(rows)
+	std.m = m
+	std.b = make([]float64, m)
+	std.slackOf = make([]int, m)
+	std.artOf = make([]int, m)
+	std.rowIDs = make([]rowIdent, m)
+
+	// Normalize to b ≥ 0 and count slack/surplus columns.
+	nSlack := 0
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for c := range rows[i].coeffs {
+				rows[i].coeffs[c] = -rows[i].coeffs[c]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].op {
+			case LE:
+				rows[i].op = GE
+			case GE:
+				rows[i].op = LE
+			}
+		}
+		if rows[i].op != EQ {
+			nSlack++
+		}
+	}
+	std.nTotal = std.nStruct + nSlack
+
+	slackCol := std.nStruct
+	artCol := std.nTotal
+	for i := range rows {
+		std.b[i] = rows[i].rhs
+		std.rowIDs[i] = rows[i].id
+		std.slackOf[i], std.artOf[i] = -1, -1
+		switch rows[i].op {
+		case LE:
+			std.slackOf[i] = slackCol
+			slackCol++
+		case GE:
+			std.slackOf[i] = slackCol
+			slackCol++
+			std.artOf[i] = artCol
+			artCol++
+		case EQ:
+			std.artOf[i] = artCol
+			artCol++
+		}
+	}
+	std.nCols = artCol
+
+	// Objective over structural columns.
+	std.c = make([]float64, std.nCols)
+	for j, v := range p.vars {
+		std.c[colOf[j]] = sign * v.cost
+		if std.negPart[j] >= 0 {
+			std.c[std.negPart[j]] = -sign * v.cost
+		}
+	}
+
+	// Column identities.
+	std.colIDs = make([]colIdent, std.nCols)
+	for j := range p.vars {
+		std.colIDs[colOf[j]] = colIdent{kind: identStruct, idx: j}
+		if std.negPart[j] >= 0 {
+			std.colIDs[std.negPart[j]] = colIdent{kind: identNeg, idx: j}
+		}
+	}
+	for i := range rows {
+		if s := std.slackOf[i]; s >= 0 {
+			std.colIDs[s] = colIdent{kind: identSlack, bound: rows[i].id.bound, idx: rows[i].id.idx}
+		}
+		if a := std.artOf[i]; a >= 0 {
+			std.colIDs[a] = colIdent{kind: identArt, bound: rows[i].id.bound, idx: rows[i].id.idx}
+		}
+	}
+
+	// CSC assembly.  Counting then filling row-by-row keeps every column's
+	// row indices ascending and the layout deterministic (each (row, column)
+	// pair appears exactly once, so per-row map iteration order is
+	// irrelevant).
+	counts := make([]int, std.nCols+1)
+	for i := range rows {
+		for c, v := range rows[i].coeffs {
+			if v != 0 {
+				counts[c+1]++
+			}
+		}
+		if std.slackOf[i] >= 0 {
+			counts[std.slackOf[i]+1]++
+		}
+		if std.artOf[i] >= 0 {
+			counts[std.artOf[i]+1]++
+		}
+	}
+	for c := 0; c < std.nCols; c++ {
+		counts[c+1] += counts[c]
+	}
+	std.colPtr = counts
+	nnz := std.colPtr[std.nCols]
+	std.rowIdx = make([]int, nnz)
+	std.vals = make([]float64, nnz)
+	next := make([]int, std.nCols)
+	copy(next, std.colPtr[:std.nCols])
+	for i := range rows {
+		for c, v := range rows[i].coeffs {
+			if v == 0 {
+				continue
+			}
+			pos := next[c]
+			next[c]++
+			std.rowIdx[pos] = i
+			std.vals[pos] = v
+		}
+		if sc := std.slackOf[i]; sc >= 0 {
+			sv := 1.0
+			if rows[i].op == GE {
+				sv = -1
+			}
+			pos := next[sc]
+			next[sc]++
+			std.rowIdx[pos] = i
+			std.vals[pos] = sv
+		}
+		if ac := std.artOf[i]; ac >= 0 {
+			pos := next[ac]
+			next[ac]++
+			std.rowIdx[pos] = i
+			std.vals[pos] = 1
+		}
+	}
+	return std, nil
+}
+
+// recover maps standard-form column values back to the original variables.
+func (s *standard) recover(values []float64) []float64 {
+	out := make([]float64, len(s.shift))
+	col := 0
+	for j := range s.shift {
+		v := values[col]
+		col++
+		if s.negPart[j] >= 0 {
+			v -= values[s.negPart[j]]
+			col++
+		}
+		out[j] = v + s.shift[j]
+	}
+	return out
+}

@@ -24,10 +24,20 @@ type Problem struct {
 	sense    lp.Sense
 	lpProto  *builderProto
 	integers map[lp.Var]bool
+
+	// relax is the shared LP relaxation: built once, then re-solved at
+	// every branch-and-bound node with only the branch bounds mutated
+	// (lp.SetBounds) and the parent node's basis as a warm start.  Bound
+	// tightening keeps the parent's optimal basis dual-feasible, so child
+	// relaxations restart with a few dual-simplex pivots instead of a
+	// from-scratch phase 1.
+	relax     *lp.Problem
+	relaxVars int
+	relaxCons int
 }
 
-// builderProto records the model so it can be re-instantiated with extra
-// bound constraints at every branch-and-bound node.
+// builderProto records the model so the shared relaxation can be rebuilt
+// (and per-node bounds reset) at every branch-and-bound node.
 type builderProto struct {
 	vars []protoVar
 	cons []protoCon
@@ -159,6 +169,9 @@ type node struct {
 	bounds []bound
 	// relaxation objective of the parent, used for best-first ordering.
 	parentObj float64
+	// basis is the parent relaxation's optimal basis; the node's own
+	// relaxation warm-starts from it (dual-feasible restart).
+	basis *lp.Basis
 }
 
 // Solve runs branch and bound with default options.
@@ -169,7 +182,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
 
 	if len(p.integers) == 0 {
-		sol, err := p.solveRelaxation(nil)
+		sol, err := p.solveRelaxation(nil, nil)
 		if err != nil {
 			return convertLPFailure(sol, err)
 		}
@@ -210,7 +223,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 		queue = queue[1:]
 		nodesDone++
 
-		relax, err := p.solveRelaxation(current.bounds)
+		relax, err := p.solveRelaxation(current.bounds, current.basis)
 		if err != nil {
 			if errors.Is(err, lp.ErrInfeasible) {
 				continue // prune
@@ -263,15 +276,17 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 			continue
 		}
 
-		// Branch.
+		// Branch.  Children inherit this node's optimal basis: tightening
+		// one variable bound keeps it dual-feasible, so each child
+		// re-solves with a dual-simplex restart instead of phase 1.
 		val := relax.Value(branchVar)
 		floor := math.Floor(val)
 		ceil := math.Ceil(val)
 		down := append(append([]bound{}, current.bounds...), bound{v: branchVar, lo: math.Inf(-1), hi: floor})
 		up := append(append([]bound{}, current.bounds...), bound{v: branchVar, lo: ceil, hi: math.Inf(1)})
 		queue = append(queue,
-			node{bounds: down, parentObj: relax.Objective},
-			node{bounds: up, parentObj: relax.Objective},
+			node{bounds: down, parentObj: relax.Objective, basis: relax.Basis()},
+			node{bounds: up, parentObj: relax.Objective, basis: relax.Basis()},
 		)
 	}
 
@@ -282,14 +297,22 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	return best, nil
 }
 
-// solveRelaxation builds the LP relaxation with extra branch bounds applied
-// and solves it.
-func (p *Problem) solveRelaxation(extra []bound) (*lp.Solution, error) {
-	prob := lp.NewProblem(p.sense)
-	for i, pv := range p.lpProto.vars {
+// solveRelaxation solves the LP relaxation with extra branch bounds applied,
+// warm-started from the parent node's basis.  The relaxation Problem is
+// shared across all nodes: only variable bounds change between solves, so
+// each node resets every integer variable's bounds from the prototype and
+// re-applies its own branch bounds (branch bounds never touch continuous
+// variables).
+func (p *Problem) solveRelaxation(extra []bound, warm *lp.Basis) (*lp.Solution, error) {
+	prob, err := p.relaxation()
+	if err != nil {
+		return nil, err
+	}
+	for v := range p.integers {
+		pv := p.lpProto.vars[v]
 		lo, hi := pv.lb, pv.ub
 		for _, b := range extra {
-			if int(b.v) != i {
+			if b.v != v {
 				continue
 			}
 			if b.lo > lo {
@@ -303,7 +326,22 @@ func (p *Problem) solveRelaxation(extra []bound) (*lp.Solution, error) {
 			// This branch is empty.
 			return nil, lp.ErrInfeasible
 		}
-		if _, err := prob.AddVariable(pv.name, lo, hi, pv.cost); err != nil {
+		if err := prob.SetBounds(v, lo, hi); err != nil {
+			return nil, err
+		}
+	}
+	return prob.SolveFrom(warm)
+}
+
+// relaxation returns the shared relaxation Problem, (re)building it when the
+// model grew since it was last built.
+func (p *Problem) relaxation() (*lp.Problem, error) {
+	if p.relax != nil && p.relaxVars == len(p.lpProto.vars) && p.relaxCons == len(p.lpProto.cons) {
+		return p.relax, nil
+	}
+	prob := lp.NewProblem(p.sense)
+	for _, pv := range p.lpProto.vars {
+		if _, err := prob.AddVariable(pv.name, pv.lb, pv.ub, pv.cost); err != nil {
 			return nil, err
 		}
 	}
@@ -312,7 +350,10 @@ func (p *Problem) solveRelaxation(extra []bound) (*lp.Solution, error) {
 			return nil, err
 		}
 	}
-	return prob.Solve()
+	p.relax = prob
+	p.relaxVars = len(p.lpProto.vars)
+	p.relaxCons = len(p.lpProto.cons)
+	return prob, nil
 }
 
 func convertLPFailure(sol *lp.Solution, err error) (*Solution, error) {

@@ -219,6 +219,57 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+// TestBranchingDeterministic pins run-to-run reproducibility now that nodes
+// share one mutable relaxation and warm-start from their parents' bases:
+// solving the same model twice must explore the same number of nodes and
+// return bit-identical values.
+func TestBranchingDeterministic(t *testing.T) {
+	build := func() *Problem {
+		rng := rand.New(rand.NewSource(5))
+		p := NewProblem(lp.Maximize)
+		terms := make([]lp.Term, 0, 14)
+		for i := 0; i < 14; i++ {
+			v, err := p.AddBinaryVariable("item", 1+rng.Float64()*10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			terms = append(terms, lp.Term{Var: v, Coeff: 1 + rng.Float64()*10})
+		}
+		if err := p.AddConstraint("capacity", lp.LE, 35, terms...); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	first, err := build().Solve()
+	if err != nil {
+		t.Fatalf("first solve: %v", err)
+	}
+	// Same model solved twice — fresh Problem and re-Solve on the same
+	// Problem (which reuses the shared relaxation) must both agree.
+	reused := build()
+	second, err := reused.Solve()
+	if err != nil {
+		t.Fatalf("second solve: %v", err)
+	}
+	third, err := reused.Solve()
+	if err != nil {
+		t.Fatalf("re-solve on the same Problem: %v", err)
+	}
+	for _, other := range []*Solution{second, third} {
+		if other.Nodes != first.Nodes {
+			t.Errorf("node count %d, want %d", other.Nodes, first.Nodes)
+		}
+		if other.Objective != first.Objective {
+			t.Errorf("objective %v, want bit-identical %v", other.Objective, first.Objective)
+		}
+		for v := 0; v < 14; v++ {
+			if other.Value(lp.Var(v)) != first.Value(lp.Var(v)) {
+				t.Errorf("value[%d] = %v, want %v", v, other.Value(lp.Var(v)), first.Value(lp.Var(v)))
+			}
+		}
+	}
+}
+
 func TestSchedulerShapedMILP(t *testing.T) {
 	// A miniature of GreenNebula's partitioning problem: 3 datacenters ×
 	// 8 hours, place 100 kW of load each hour to minimize brown energy given

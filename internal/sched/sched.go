@@ -102,6 +102,26 @@ type Scheduler struct {
 	// reused (the repo-wide zero-steady-state-allocation idiom).
 	deficit []float64
 	pue     []float64
+
+	// Cached partition LP.  The problem structure depends only on
+	// (datacenter count, horizon), so consecutive Partition calls with the
+	// same shape reuse one lp.Problem — only the right-hand sides (load,
+	// forecasts, capacities), the PUE coefficients and the price-derived
+	// costs are rewritten — and warm-start from the previous round's
+	// optimal basis.  Hour-over-hour the forecasts barely move, so the
+	// re-solve is a short dual-simplex restart instead of a two-phase
+	// solve from scratch.
+	lpProb    *lp.Problem
+	lpN       int
+	lpHorizon int
+	loadV     [][]lp.Var
+	migV      [][]lp.Var
+	brownV    [][]lp.Var
+	conPlace  []int
+	conMig    [][]int
+	conBrown  [][]int
+	conCap    [][]int
+	basis     *lp.Basis
 }
 
 // New returns a scheduler.
@@ -150,95 +170,29 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 		return nil, fmt.Errorf("%w: %.1f kW over %.1f kW", ErrOverCapacity, totalLoadKW, totalCapacity)
 	}
 
-	prob := lp.NewProblem(lp.Minimize)
 	n := len(dcs)
-	load := make([][]lp.Var, n)
-	migOut := make([][]lp.Var, n)
-	brown := make([][]lp.Var, n)
-	var err error
-	for d, dc := range dcs {
-		load[d] = make([]lp.Var, horizon)
-		migOut[d] = make([]lp.Var, horizon)
-		brown[d] = make([]lp.Var, horizon)
-		for h := 0; h < horizon; h++ {
-			// No explicit upper bound: the capacity constraint below
-			// (load + migOut ≤ capacity with migOut ≥ 0) already bounds the
-			// load, and a redundant variable bound would add one tableau row
-			// plus one slack column per datacenter-hour to the LP.
-			if load[d][h], err = prob.AddVariable("load", 0, lp.Infinity, 0); err != nil {
-				return nil, err
-			}
-			// A tiny cost on migration power discourages gratuitous churn
-			// beyond its real energy cost.
-			if migOut[d][h], err = prob.AddVariable("mig", 0, lp.Infinity, dc.GridPriceUSDPerKWh*0.1); err != nil {
-				return nil, err
-			}
-			if brown[d][h], err = prob.AddVariable("brown", 0, lp.Infinity,
-				s.opts.BrownWeight*dc.GridPriceUSDPerKWh); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	for h := 0; h < horizon; h++ {
-		// All load must be placed somewhere every hour.
-		terms := make([]lp.Term, n)
-		for d := range dcs {
-			terms[d] = lp.Term{Var: load[d][h], Coeff: 1}
-		}
-		if err := prob.AddConstraint("place", lp.EQ, totalLoadKW, terms...); err != nil {
+	if s.lpProb == nil || s.lpN != n || s.lpHorizon != horizon {
+		if err := s.buildPartitionLP(n, horizon); err != nil {
 			return nil, err
 		}
 	}
-	f := s.opts.MigrationFraction
-	for d, dc := range dcs {
-		for h := 0; h < horizon; h++ {
-			// Migration overhead: load leaving this site between h−1 and h
-			// burns power here for a fraction of hour h.
-			if f > 0 {
-				terms := []lp.Term{
-					{Var: migOut[d][h], Coeff: 1},
-					{Var: load[d][h], Coeff: f},
-				}
-				rhs := 0.0
-				if h == 0 {
-					rhs = f * dc.CurrentLoadKW
-				} else {
-					terms = append(terms, lp.Term{Var: load[d][h-1], Coeff: -f})
-				}
-				if err := prob.AddConstraint("migOut", lp.GE, rhs, terms...); err != nil {
-					return nil, err
-				}
-			}
-			// Brown power covers whatever facility demand the green
-			// forecast cannot: brown ≥ (load+mig)·PUE − green.
-			pue := dc.pueAt(h)
-			if err := prob.AddConstraint("brown", lp.GE, -dc.GreenForecastKW[h],
-				lp.Term{Var: brown[d][h], Coeff: 1},
-				lp.Term{Var: load[d][h], Coeff: -pue},
-				lp.Term{Var: migOut[d][h], Coeff: -pue}); err != nil {
-				return nil, err
-			}
-			// Capacity must also cover the migration overhead.
-			if err := prob.AddConstraint("cap", lp.LE, dc.CapacityKW,
-				lp.Term{Var: load[d][h], Coeff: 1},
-				lp.Term{Var: migOut[d][h], Coeff: 1}); err != nil {
-				return nil, err
-			}
-		}
+	if err := s.updatePartitionLP(dcs, totalLoadKW); err != nil {
+		return nil, err
 	}
 
-	sol, err := prob.Solve()
+	sol, err := s.lpProb.SolveFrom(s.basis)
 	if err != nil {
+		s.basis = nil
 		return nil, fmt.Errorf("sched: partition LP: %w", err)
 	}
+	s.basis = sol.Basis()
 
 	plan := &Plan{LoadKW: make([][]float64, n)}
 	for d := range dcs {
 		plan.LoadKW[d] = make([]float64, horizon)
 		for h := 0; h < horizon; h++ {
-			plan.LoadKW[d][h] = sol.Value(load[d][h])
-			plan.BrownKWh += sol.Value(brown[d][h])
+			plan.LoadKW[d][h] = sol.Value(s.loadV[d][h])
+			plan.BrownKWh += sol.Value(s.brownV[d][h])
 		}
 		moved := dcs[d].CurrentLoadKW - plan.LoadKW[d][0]
 		if moved > 0 {
@@ -246,6 +200,168 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 		}
 	}
 	return plan, nil
+}
+
+// buildPartitionLP constructs the partition LP's structure for the given
+// shape, recording every variable handle and constraint index so
+// updatePartitionLP can rewrite the round-specific numbers in place.  All
+// coefficients, costs and right-hand sides are placeholders (zeros) here;
+// a cached problem is never solved without updatePartitionLP running first.
+func (s *Scheduler) buildPartitionLP(n, horizon int) error {
+	prob := lp.NewProblem(lp.Minimize)
+	s.lpProb, s.lpN, s.lpHorizon = nil, 0, 0
+	s.basis = nil
+	s.loadV = makeVarGrid(n, horizon)
+	s.migV = makeVarGrid(n, horizon)
+	s.brownV = makeVarGrid(n, horizon)
+	s.conPlace = make([]int, horizon)
+	s.conMig = makeIntGrid(n, horizon)
+	s.conBrown = makeIntGrid(n, horizon)
+	s.conCap = makeIntGrid(n, horizon)
+
+	var err error
+	for d := 0; d < n; d++ {
+		for h := 0; h < horizon; h++ {
+			// No explicit upper bound: the capacity constraint below
+			// (load + migOut ≤ capacity with migOut ≥ 0) already bounds the
+			// load, and a redundant variable bound would add one row plus
+			// one slack column per datacenter-hour to the LP.
+			if s.loadV[d][h], err = prob.AddVariable("load", 0, lp.Infinity, 0); err != nil {
+				return err
+			}
+			if s.migV[d][h], err = prob.AddVariable("mig", 0, lp.Infinity, 0); err != nil {
+				return err
+			}
+			if s.brownV[d][h], err = prob.AddVariable("brown", 0, lp.Infinity, 0); err != nil {
+				return err
+			}
+		}
+	}
+
+	next := 0
+	for h := 0; h < horizon; h++ {
+		// All load must be placed somewhere every hour.
+		terms := make([]lp.Term, n)
+		for d := 0; d < n; d++ {
+			terms[d] = lp.Term{Var: s.loadV[d][h], Coeff: 1}
+		}
+		if err := prob.AddConstraint("place", lp.EQ, 0, terms...); err != nil {
+			return err
+		}
+		s.conPlace[h] = next
+		next++
+	}
+	f := s.opts.MigrationFraction
+	for d := 0; d < n; d++ {
+		for h := 0; h < horizon; h++ {
+			// Migration overhead: load leaving this site between h−1 and h
+			// burns power here for a fraction of hour h.
+			s.conMig[d][h] = -1
+			if f > 0 {
+				terms := []lp.Term{
+					{Var: s.migV[d][h], Coeff: 1},
+					{Var: s.loadV[d][h], Coeff: f},
+				}
+				if h > 0 {
+					terms = append(terms, lp.Term{Var: s.loadV[d][h-1], Coeff: -f})
+				}
+				if err := prob.AddConstraint("migOut", lp.GE, 0, terms...); err != nil {
+					return err
+				}
+				s.conMig[d][h] = next
+				next++
+			}
+			// Brown power covers whatever facility demand the green
+			// forecast cannot: brown ≥ (load+mig)·PUE − green.
+			if err := prob.AddConstraint("brown", lp.GE, 0,
+				lp.Term{Var: s.brownV[d][h], Coeff: 1},
+				lp.Term{Var: s.loadV[d][h], Coeff: -1},
+				lp.Term{Var: s.migV[d][h], Coeff: -1}); err != nil {
+				return err
+			}
+			s.conBrown[d][h] = next
+			next++
+			// Capacity must also cover the migration overhead.
+			if err := prob.AddConstraint("cap", lp.LE, 0,
+				lp.Term{Var: s.loadV[d][h], Coeff: 1},
+				lp.Term{Var: s.migV[d][h], Coeff: 1}); err != nil {
+				return err
+			}
+			s.conCap[d][h] = next
+			next++
+		}
+	}
+	s.lpProb, s.lpN, s.lpHorizon = prob, n, horizon
+	return nil
+}
+
+// updatePartitionLP rewrites the round-specific numbers of the cached LP:
+// right-hand sides (total load, current loads, green forecasts,
+// capacities), the per-hour PUE coefficients of the brown rows, and the
+// price-derived variable costs.
+func (s *Scheduler) updatePartitionLP(dcs []DatacenterState, totalLoadKW float64) error {
+	prob := s.lpProb
+	horizon := s.lpHorizon
+	f := s.opts.MigrationFraction
+	for h := 0; h < horizon; h++ {
+		if err := prob.SetRHS(s.conPlace[h], totalLoadKW); err != nil {
+			return err
+		}
+	}
+	for d, dc := range dcs {
+		// A tiny cost on migration power discourages gratuitous churn
+		// beyond its real energy cost.
+		migCost := dc.GridPriceUSDPerKWh * 0.1
+		brownCost := s.opts.BrownWeight * dc.GridPriceUSDPerKWh
+		for h := 0; h < horizon; h++ {
+			if err := prob.SetCost(s.migV[d][h], migCost); err != nil {
+				return err
+			}
+			if err := prob.SetCost(s.brownV[d][h], brownCost); err != nil {
+				return err
+			}
+			if c := s.conMig[d][h]; c >= 0 {
+				rhs := 0.0
+				if h == 0 {
+					rhs = f * dc.CurrentLoadKW
+				}
+				if err := prob.SetRHS(c, rhs); err != nil {
+					return err
+				}
+			}
+			pue := dc.pueAt(h)
+			c := s.conBrown[d][h]
+			if err := prob.SetRHS(c, -dc.GreenForecastKW[h]); err != nil {
+				return err
+			}
+			if err := prob.SetCoeff(c, s.loadV[d][h], -pue); err != nil {
+				return err
+			}
+			if err := prob.SetCoeff(c, s.migV[d][h], -pue); err != nil {
+				return err
+			}
+			if err := prob.SetRHS(s.conCap[d][h], dc.CapacityKW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func makeVarGrid(n, horizon int) [][]lp.Var {
+	out := make([][]lp.Var, n)
+	for d := range out {
+		out[d] = make([]lp.Var, horizon)
+	}
+	return out
+}
+
+func makeIntGrid(n, horizon int) [][]int {
+	out := make([][]int, n)
+	for d := range out {
+		out[d] = make([]int, horizon)
+	}
+	return out
 }
 
 // Migration is one VM move the scheduler orders.

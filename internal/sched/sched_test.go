@@ -83,6 +83,48 @@ func TestPartitionFollowsRenewables(t *testing.T) {
 	}
 }
 
+// TestPartitionWarmResolveMatchesFresh pins the cached-LP contract: a
+// scheduler that has already solved a round (and so re-solves the mutated
+// problem warm from its previous basis) must produce the same plan as a
+// fresh scheduler solving the same inputs cold.
+func TestPartitionWarmResolveMatchesFresh(t *testing.T) {
+	warmSched := New(Options{HorizonHours: 24, MigrationFraction: 0.1})
+	round1 := threeDCs(24)
+	if _, err := warmSched.Partition(round1, 270); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	// Round 2: the load moved and the forecasts shifted.
+	round2 := threeDCs(24)
+	round2[0].CurrentLoadKW = 80
+	round2[1].CurrentLoadKW = 190
+	for d := range round2 {
+		for h := range round2[d].GreenForecastKW {
+			round2[d].GreenForecastKW[h] *= 0.9
+		}
+	}
+	warm, err := warmSched.Partition(round2, 250)
+	if err != nil {
+		t.Fatalf("warm round 2: %v", err)
+	}
+	cold, err := New(Options{HorizonHours: 24, MigrationFraction: 0.1}).Partition(round2, 250)
+	if err != nil {
+		t.Fatalf("cold round 2: %v", err)
+	}
+	if math.Abs(warm.BrownKWh-cold.BrownKWh) > 1e-6 {
+		t.Errorf("warm BrownKWh %v, cold %v", warm.BrownKWh, cold.BrownKWh)
+	}
+	if math.Abs(warm.MigratedKW-cold.MigratedKW) > 1e-6 {
+		t.Errorf("warm MigratedKW %v, cold %v", warm.MigratedKW, cold.MigratedKW)
+	}
+	for d := range warm.LoadKW {
+		for h := range warm.LoadKW[d] {
+			if math.Abs(warm.LoadKW[d][h]-cold.LoadKW[d][h]) > 1e-6 {
+				t.Fatalf("plan[%d][%d]: warm %v, cold %v", d, h, warm.LoadKW[d][h], cold.LoadKW[d][h])
+			}
+		}
+	}
+}
+
 func TestPartitionValidation(t *testing.T) {
 	s := New(Options{HorizonHours: 24})
 	if _, err := s.Partition(nil, 100); !errors.Is(err, ErrNoDatacenters) {

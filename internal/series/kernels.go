@@ -45,24 +45,6 @@ func AXPY(dst []float64, a float64, x []float64) {
 	}
 }
 
-// FMA accumulates dst[i] += x[i]·y[i], the element-wise fused
-// multiply-accumulate.
-//
-// Bit-identity caveat for future callers: Go may compile the single
-// expression dst[i] + x[i]*y[i] to a hardware fused multiply-add on
-// platforms that have one (arm64, ppc64), which rounds once instead of
-// twice.  Replacing an open-coded loop with FMA is bit-identical only if
-// the old loop used the same single-expression shape; a loop that computed
-// the product into a temporary first (two roundings) can differ in the
-// last ulp on those platforms.
-func FMA(dst, x, y []float64) {
-	x = x[:len(dst)]
-	y = y[:len(dst)]
-	for i := range dst {
-		dst[i] += x[i] * y[i]
-	}
-}
-
 // WeightedSum writes dst[i] = a·x[i] + b·y[i] — the green-production
 // kernel (α·solarKW + β·windKW) of the schedule merge, plant sizing and
 // energy accounting.  dst may alias x or y.
@@ -85,30 +67,27 @@ func AddMul(dst, x, y, z []float64) {
 	}
 }
 
-// ClampMin raises every element of dst to at least lo.
-func ClampMin(dst []float64, lo float64) {
-	for i, v := range dst {
-		if v < lo {
-			dst[i] = lo
-		}
-	}
-}
-
-// ClampMax lowers every element of dst to at most hi.
-func ClampMax(dst []float64, hi float64) {
-	for i, v := range dst {
-		if v > hi {
-			dst[i] = hi
-		}
-	}
-}
-
 // Sum returns Σ x[i], accumulated in index order (the order every scalar
 // loop it replaces used, so totals stay bit-identical).
+//
+// The loop is unrolled 4-wide with a single accumulator: the additions
+// happen in exactly the same order as the plain loop (bit-identity is the
+// package contract — multiple accumulators would re-associate the chain),
+// so the unroll only amortizes loop control, the first step of the ROADMAP
+// SIMD item.  The x4 = x[i : i+4 : i+4] re-slice pins the bounds so the
+// body runs check-free.
 func Sum(x []float64) float64 {
 	s := 0.0
-	for _, v := range x {
-		s += v
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		s += x4[0]
+		s += x4[1]
+		s += x4[2]
+		s += x4[3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i]
 	}
 	return s
 }
@@ -130,11 +109,24 @@ func SumPositive(acc float64, x []float64) float64 {
 
 // DotWeighted returns Σ x[i]·w[i] in index order — the epoch-weighted
 // total (kW · hours-per-epoch) that turns a power series into energy.
+//
+// Unrolled 4-wide with a single accumulator, like Sum: same sequence of
+// multiply-then-add operations as the plain loop, so the result stays
+// bit-identical while the loop control amortizes over four elements.
 func DotWeighted(x, w []float64) float64 {
 	w = w[:len(x)]
 	s := 0.0
-	for i, v := range x {
-		s += v * w[i]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		w4 := w[i : i+4 : i+4]
+		s += x4[0] * w4[0]
+		s += x4[1] * w4[1]
+		s += x4[2] * w4[2]
+		s += x4[3] * w4[3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * w[i]
 	}
 	return s
 }
