@@ -11,12 +11,22 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: ci vet build test bench-smoke bench
+.PHONY: ci vet fmt-check build test cover bench-smoke bench-check bench
 
 ci: vet build test bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# The gofmt gate the hosted CI workflow runs as its own job (so formatting
+# failures are reported separately from build/test failures), reproducible
+# locally before pushing.  Deliberately not part of `make ci`: the workflow
+# runs `make ci`, `make fmt-check` and `make cover` as three separate gates.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -24,15 +34,34 @@ build:
 test:
 	$(GO) test -race -timeout 2400s ./...
 
+# Coverage run: go test prints the per-package totals, the merged profile
+# lands in coverage.out (uploaded as a build artifact by the CI workflow),
+# and the final line is the whole-repo total.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 # One-shot smoke of the contract-carrying benchmarks: the cached evaluator
 # (EvaluateSteadyState) and the delta-move path (EvaluateDeltaMove) print
 # allocs/op with their 0 allocs/op guarantee enforced by the accompanying
-# tests, and LPResolve exercises the warm-started revised-simplex path
-# (SetRHS + SolveFrom) end to end; running them here catches a
-# benchmark-only breakage (setup drift, catalog changes, a basis that stops
-# translating) in `make ci` instead of the full sweep.
+# tests, LPResolve exercises the warm-started revised-simplex path
+# (SetRHS + SolveFrom) end to end, and LPBounded exercises the
+# implicit-bound path (nonbasic-at-bound statuses, bound flips) on a
+# bound-heavy cold solve; running them here catches a benchmark-only
+# breakage (setup drift, catalog changes, a basis that stops translating)
+# in `make ci` instead of the full sweep.
+BENCH_SMOKE := ^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded)$$
+
 bench-smoke:
-	$(GO) test -bench='^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve)$$' -benchtime=1x -run '^$$' .
+	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' .
+
+# The smoke benchmarks diffed against the latest committed snapshot without
+# writing a new one (benchjson -check-only), so a CI runner can surface the
+# deltas without ever polluting the BENCH_*.json trajectory.  One-shot
+# measurements are reported but never gated (see cmd/benchjson), so this
+# target fails only on parse/run failures, not machine noise.
+bench-check:
+	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchjson -check-only -baseline latest
 
 # Full benchmark sweep (regenerates every paper figure; slow).  The output
 # is snapshotted into BENCH_<date>.json so the performance trajectory is

@@ -312,6 +312,57 @@ func BenchmarkLPResolve(b *testing.B) {
 	}
 }
 
+// BenchmarkLPBounded measures a cold solve of a bound-heavy covering LP
+// (240 variables, every one carrying a finite upper bound, 24 rows) — the
+// shape of the milp branch-and-bound relaxations, where variable bounds
+// dominate the model.  The bounded revised simplex keeps those bounds
+// implicit (nonbasic-at-bound statuses and bound flips), so the basis
+// stays 24×24; the pre-bounded core expanded every finite bound into an
+// explicit row plus a slack column and factorized a 264×264 basis for the
+// same model.
+func BenchmarkLPBounded(b *testing.B) {
+	const (
+		nVars = 240
+		nCons = 24
+	)
+	rng := rand.New(rand.NewSource(17))
+	prob := lp.NewProblem(lp.Minimize)
+	vars := make([]lp.Var, nVars)
+	ubs := make([]float64, nVars)
+	var err error
+	for j := 0; j < nVars; j++ {
+		ubs[j] = 0.5 + rng.Float64()*2.5
+		if vars[j], err = prob.AddVariable("x", 0, ubs[j], 0.1+rng.Float64()*1.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < nCons; i++ {
+		terms := make([]lp.Term, 0, nVars/2)
+		capacity := 0.0
+		for j := 0; j < nVars; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			a := 0.2 + rng.Float64()*1.3
+			capacity += a * ubs[j]
+			terms = append(terms, lp.Term{Var: vars[j], Coeff: a})
+		}
+		// Demand at 30% of what the bounded variables can jointly cover
+		// keeps every instance feasible while forcing a third of the
+		// columns to their upper bounds.
+		if err := prob.AddConstraint("cover", lp.GE, 0.3*capacity, terms...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prob.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // kernelEpochs is the row length of the series-kernel microbenchmarks: one
 // hourly year, the largest epoch grid the evaluator runs on.  The kernels
 // below are the hot inner loops of the schedule merge (WeightedSum), the

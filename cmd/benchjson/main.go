@@ -16,6 +16,12 @@
 //     gated — a one-shot measurement swings past 10% on machine and code
 //     layout noise alone — and a failed benchmark run is never
 //     snapshotted at all, so a crash cannot poison the baseline chain.
+//
+// With -check-only the snapshot is parsed and diffed but never written:
+// the mode CI runs on the smoke benchmarks (`make bench-check`), where the
+// deltas are wanted but a throwaway runner's numbers must not enter the
+// committed BENCH_*.json trajectory.  -out is then only used (and
+// optional) to locate the snapshot directory for -baseline latest.
 package main
 
 import (
@@ -62,11 +68,13 @@ const regressionThreshold = 0.10
 const minGateIterations = 10
 
 func main() {
-	out := flag.String("out", "", "path of the JSON snapshot to write (required)")
+	out := flag.String("out", "", "path of the JSON snapshot to write (required unless -check-only)")
 	baseline := flag.String("baseline", "",
 		"previous snapshot to diff against, or \"latest\" for the newest BENCH_*.json next to -out; exits non-zero on >10% ns/op regressions")
+	checkOnly := flag.Bool("check-only", false,
+		"diff against -baseline without writing a snapshot; -out only locates the snapshot directory")
 	flag.Parse()
-	if *out == "" {
+	if *out == "" && !*checkOnly {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
 		os.Exit(2)
 	}
@@ -121,27 +129,33 @@ func main() {
 		basePath = resolveBaseline(*baseline, *out)
 	}
 
-	target, err := unusedSnapshotPath(*out)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if *checkOnly {
+		fmt.Fprintf(os.Stderr, "benchjson: check-only: %d benchmarks parsed, no snapshot written\n",
+			len(snap.Benchmarks))
+	} else {
+		target, err := unusedSnapshotPath(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if target != *out {
+			fmt.Fprintf(os.Stderr, "benchjson: %s already exists; writing %s instead\n", *out, target)
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(target, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", target, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), target)
 	}
-	if target != *out {
-		fmt.Fprintf(os.Stderr, "benchjson: %s already exists; writing %s instead\n", *out, target)
-	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(target, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", target, err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), target)
 
 	regressed := false
 	if basePath != "" {
+		var err error
 		regressed, err = diffAgainst(basePath, snap)
 		if err != nil {
 			if *baseline == "latest" {
@@ -154,7 +168,7 @@ func main() {
 			} else {
 				// An explicitly named baseline the user pinned is different:
 				// silently skipping would green-light a run whose regression
-				// gate never ran.  The snapshot is already written, so only
+				// gate never ran.  Any snapshot is already written, so only
 				// the gate fails.
 				fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
 				os.Exit(1)

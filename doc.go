@@ -18,36 +18,50 @@
 // simulated annealing, the within-datacenter VM manager and the emulated
 // wide-area network — is implemented from scratch under internal/.
 //
-// # The LP layer: sparse revised simplex with basis reuse
+// # The LP layer: bounded-variable revised simplex with basis reuse
 //
 // Every linear program in the system — the scheduler's 48-hour partition
 // LP, the branch-and-bound relaxations of internal/milp, the exact
 // evaluator's siting MILP — runs on internal/lp's revised simplex.  The
-// standard form is stored column-wise (CSC, built once per solve); the
-// basis matrix is LU-factorized by a Gilbert–Peierls sparse factorization
-// with partial pivoting, updated by a product-form eta file and
-// refactorized every 64 pivots; FTRAN/BTRAN triangular solves replace the
-// dense tableau's whole-row elimination.  Pricing maintains the
-// reduced-cost row incrementally (one sparse BTRAN of the leaving unit
-// vector plus one CSC pass per pivot), verifies every nominee exactly from
-// its FTRAN column, and only declares optimality after an exact rebuild; a
-// Harris-style two-pass ratio test keeps eta-file roundoff from ever being
-// chosen as a pivot.
+// standard form is bounded: minimize c·y s.t. A·y = b, 0 ≤ y ≤ u, with
+// exactly one row per model constraint — finite variable bounds are
+// column data (shifted, or mirrored when only the upper bound is finite),
+// never rows, so the basis dimension of a bound-heavy model like a milp
+// relaxation is its constraint count instead of constraints plus bounds.
+// Nonbasic columns carry an at-lower/at-upper status, pricing is signed by
+// that status, and the Harris-style two-pass ratio test caps the step at
+// the entering column's opposite bound — when that cap binds first, the
+// iteration is a bound flip: a status bit and a basic-solution update with
+// no basis change, no eta, no LU aging.  The form is stored column-wise
+// (CSC, built once per solve); the basis matrix is LU-factorized by a
+// Gilbert–Peierls sparse factorization with partial pivoting, updated by a
+// product-form eta file and refactorized every 64 pivots; FTRAN/BTRAN
+// triangular solves replace the dense tableau's whole-row elimination.
+// Pricing maintains the reduced-cost row incrementally (one sparse BTRAN
+// of the leaving unit vector plus one CSC pass per pivot), verifies every
+// nominee exactly from its FTRAN column, and only declares optimality
+// after an exact rebuild.
 //
 // Warm starts thread the basis up the stack: a Solution captures its
 // optimal basis in model-level terms (lp.Basis — per row, which
-// variable/slack/artificial was basic, keyed by identities that survive
-// re-standardization), and Problem.SolveFrom restarts from it after
-// SetBounds/SetRHS/SetCoeff/SetCost mutations — typically a short
-// dual-simplex run, since mutations preserve dual feasibility.
-// internal/milp keeps one shared relaxation Problem and re-solves every
-// branch-and-bound node from its parent's basis; internal/sched keeps a
-// per-Scheduler Problem plus basis across scheduling rounds; the exact
-// evaluator inherits both.  A basis that no longer translates silently
-// falls back to a cold two-phase solve, so reuse can cost time but never
-// correctness, and the revised core is pinned against the frozen
-// pre-refactor dense-tableau solver by a 600-problem randomized
-// differential test (identical Status everywhere, objectives within 1e-9).
+// variable/slack/artificial was basic, plus the nonbasic-at-upper set,
+// keyed by identities that survive re-standardization), and
+// Problem.SolveFrom restarts from it after SetBounds/SetRHS/SetCoeff/
+// SetCost mutations — typically a short bounded dual-simplex run (a basic
+// value may violate either of its bounds), since bound edits move the
+// at-bound columns with them and preserve dual feasibility.  internal/milp
+// keeps one shared relaxation Problem whose branch bounds are edited in
+// place, so a branch-and-bound node adds zero rows and re-solves from its
+// parent's basis; internal/sched keeps a per-Scheduler Problem plus basis
+// across scheduling rounds, with each site's load capacity expressed as an
+// implicit variable bound (full-capacity hours park the load column
+// nonbasic-at-upper); the exact evaluator inherits both.  A basis that no
+// longer translates silently falls back to a cold two-phase solve, so
+// reuse can cost time but never correctness, and the bounded core is
+// pinned against the frozen pre-refactor dense-tableau solver (which still
+// expands every finite bound into an explicit row) by a 600-problem
+// randomized differential test, half of it bound-heavy (identical Status
+// everywhere, objectives within 1e-9).
 //
 // # The series layer: epoch-major blocks and fused kernels
 //

@@ -1,71 +1,82 @@
 package lp
 
+import "math"
+
 // Basis is a warm-start handle: the simplex basis of a solved Problem,
-// captured in model-level terms.  For every standard-form row (a constraint
-// or a variable's upper-bound row) it records which column — a variable, a
-// free variable's negative part, a row's slack, or a row's artificial — was
-// basic there.  Because the pairs are keyed by identities rather than column
+// captured in model-level terms.  For every standard-form row (one per
+// constraint, in insertion order) it records which column — a variable, a
+// free variable's negative part, a constraint's slack, or a constraint's
+// artificial — was basic there, and it records which nonbasic columns sat
+// at their upper bound (the bounded standard form keeps every other
+// nonbasic column at its lower bound, so only the at-upper set needs
+// saving).  Because the entries are keyed by identities rather than column
 // indices, a Basis stays meaningful after the Problem's bounds, right-hand
-// sides, coefficients or costs are mutated, and even after re-standardization
-// changes the column layout (e.g. a branch bound adds a new upper-bound row).
+// sides, coefficients or costs are mutated, and even after
+// re-standardization changes the column layout (e.g. a variable stops
+// being free): a branch bound edited with SetBounds moves the at-upper
+// value with it, which is what keeps milp's parent bases dual-feasible by
+// construction.
 //
 // A Basis is immutable once captured and safe to share between solves; it is
 // only ever read by SolveFrom.
 type Basis struct {
-	rows []rowIdent
-	cols []colIdent
+	cols  []colIdent // basic column of row i, one per constraint
+	upper []colIdent // nonbasic columns at their upper bound
 }
 
-// captureBasis records the current basis of this standard form.
-func (s *standard) captureBasis(basis []int) *Basis {
-	b := &Basis{rows: make([]rowIdent, s.m), cols: make([]colIdent, s.m)}
-	copy(b.rows, s.rowIDs)
+// captureBasis records the current basis and nonbasic-at-upper statuses of
+// this standard form.
+func (s *standard) captureBasis(basis []int, atUpper []bool) *Basis {
+	b := &Basis{cols: make([]colIdent, s.m)}
 	for i, bc := range basis {
 		b.cols[i] = s.colIDs[bc]
+	}
+	for j := range atUpper {
+		if atUpper[j] {
+			b.upper = append(b.upper, s.colIDs[j])
+		}
 	}
 	return b
 }
 
 // installBasis maps a saved basis onto this standard form, returning one
-// basic column per row, or false when the saved basis does not translate:
-// a referenced column no longer exists (a variable stopped being free, the
+// basic column per row plus the nonbasic-at-upper statuses, or false when
+// the saved basis does not translate: the constraint count changed, a
+// referenced column no longer exists (a variable stopped being free, the
 // row lost its artificial after an rhs sign change) or two rows map to the
-// same column.  Rows the saved basis does not know (new upper-bound rows
-// from branch bounds) get their own slack — or artificial when there is
-// none — which keeps the matrix nonsingular: new-row slacks extend the old
-// basis block-triangularly.
-func (s *standard) installBasis(w *Basis) ([]int, bool) {
-	if w == nil || len(w.rows) == 0 || s.m == 0 {
-		return nil, false
+// same column.  At-upper statuses degrade instead of failing: a status
+// whose column disappeared, became basic, lost its finite upper bound or
+// became fixed simply starts at the lower bound — the warm solver's
+// feasibility checks route any resulting mismatch to the dual simplex or
+// the cold fallback.
+func (s *standard) installBasis(w *Basis) ([]int, []bool, bool) {
+	if w == nil || s.m == 0 || len(w.cols) != s.m {
+		return nil, nil, false
 	}
 	colOf := make(map[colIdent]int, s.nCols)
 	for c := 0; c < s.nCols; c++ {
 		colOf[s.colIDs[c]] = c
 	}
-	saved := make(map[rowIdent]colIdent, len(w.rows))
-	for i, r := range w.rows {
-		saved[r] = w.cols[i]
-	}
 	basis := make([]int, s.m)
-	used := make(map[int]bool, s.m)
+	used := make([]bool, s.nCols)
 	for i := 0; i < s.m; i++ {
-		var c int
-		if cid, ok := saved[s.rowIDs[i]]; ok {
-			cc, ok2 := colOf[cid]
-			if !ok2 {
-				return nil, false
-			}
-			c = cc
-		} else if s.slackOf[i] >= 0 {
-			c = s.slackOf[i]
-		} else {
-			c = s.artOf[i]
-		}
-		if used[c] {
-			return nil, false
+		c, ok := colOf[w.cols[i]]
+		if !ok || used[c] {
+			return nil, nil, false
 		}
 		used[c] = true
 		basis[i] = c
 	}
-	return basis, true
+	atUpper := make([]bool, s.nCols)
+	for _, cid := range w.upper {
+		c, ok := colOf[cid]
+		if !ok || used[c] {
+			continue
+		}
+		if u := s.upper[c]; u == 0 || math.IsInf(u, 1) {
+			continue
+		}
+		atUpper[c] = true
+	}
+	return basis, atUpper, true
 }

@@ -12,7 +12,16 @@ import (
 // rows, empty rows, negative right-hand sides.  Roughly a third of the
 // draws come out infeasible or unbounded, which is the point — the
 // differential test must pin Status, not just objectives.
-func randomProblem(rng *rand.Rand) *Problem {
+func randomProblem(rng *rand.Rand) *Problem { return randomProblemShaped(rng, false) }
+
+// randomProblemShaped additionally draws bound-heavy instances — the shape
+// of the milp relaxations, where almost every variable carries a finite
+// upper bound (and a few are fixed by lo == hi branch pins) while the
+// constraint count stays small.  These exercise the implicit-bound paths
+// hardest: nonbasic-at-upper statuses, bound flips, and fixed columns,
+// against the dense reference that still expands every finite bound into
+// an explicit row.
+func randomProblemShaped(rng *rand.Rand, boundHeavy bool) *Problem {
 	sense := Minimize
 	if rng.Intn(2) == 0 {
 		sense = Maximize
@@ -20,6 +29,10 @@ func randomProblem(rng *rand.Rand) *Problem {
 	p := NewProblem(sense)
 	nVars := 1 + rng.Intn(10)
 	nCons := rng.Intn(13)
+	if boundHeavy {
+		nVars = 3 + rng.Intn(12)
+		nCons = rng.Intn(5)
+	}
 	vars := make([]Var, nVars)
 	for j := 0; j < nVars; j++ {
 		var lb float64
@@ -34,12 +47,19 @@ func randomProblem(rng *rand.Rand) *Problem {
 			lb = 0
 		}
 		ub := Infinity
-		if rng.Intn(3) != 0 {
+		finiteUB := rng.Intn(3) != 0
+		if boundHeavy {
+			finiteUB = rng.Intn(10) != 0
+		}
+		if finiteUB {
 			base := lb
 			if math.IsInf(base, -1) {
 				base = -rng.Float64() * 5
 			}
 			ub = base + rng.Float64()*8
+			if !math.IsInf(lb, -1) && rng.Intn(12) == 0 {
+				ub = lb // fixed variable (lo == hi)
+			}
 		}
 		vars[j] = p.MustVariable("x", lb, ub, rng.Float64()*4-2)
 	}
@@ -100,14 +120,16 @@ func checkModelFeasible(t *testing.T, trial int, p *Problem, sol *Solution) {
 
 // TestRevisedMatchesDenseCore is the refactor's pin: the revised simplex
 // against the frozen pre-refactor dense-tableau core over 600 randomized
-// LPs.  Statuses must be identical on every problem; optimal objectives
-// must agree to 1e-9 (relative), and the revised solution must satisfy the
+// LPs — half of them bound-heavy, so the implicit-bound machinery is
+// differentially tested against the reference's explicit bound rows.
+// Statuses must be identical on every problem; optimal objectives must
+// agree to 1e-9 (relative), and the revised solution must satisfy the
 // model directly.
 func TestRevisedMatchesDenseCore(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	statuses := map[Status]int{}
 	for trial := 0; trial < 600; trial++ {
-		p := randomProblem(rng)
+		p := randomProblemShaped(rng, trial%2 == 1)
 
 		revised, errR := p.Solve()
 		dense, errD := denseSolve(p)
@@ -178,6 +200,9 @@ func mutateProblem(rng *rand.Rand, p *Problem) {
 				ub = lb
 			}
 		}
+		if !math.IsInf(lb, -1) && !math.IsInf(ub, 1) && rng.Intn(8) == 0 {
+			ub = lb // pin to a point (branch-and-bound integer fix)
+		}
 		if err := p.SetBounds(Var(j), lb, ub); err != nil {
 			panic(err)
 		}
@@ -192,7 +217,7 @@ func TestSolveFromMatchesColdSolve(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	warmUsed := 0
 	for trial := 0; trial < 200; trial++ {
-		p := randomProblem(rng)
+		p := randomProblemShaped(rng, trial%3 == 0)
 		sol, err := p.Solve()
 		if err != nil {
 			continue // warm starts only matter after a successful solve
@@ -289,8 +314,8 @@ func TestSolveFromAfterBoundTightening(t *testing.T) {
 	if math.Abs(sol.Value(x)-3.5) > 1e-9 {
 		t.Fatalf("relaxation x = %v, want 3.5", sol.Value(x))
 	}
-	// Branch down: x ≤ 3 (adds a brand-new upper-bound row the parent basis
-	// has never seen).
+	// Branch down: x ≤ 3 (a pure bound edit — the standard form gains no
+	// row, the parent basis stays dual-feasible).
 	if err := p.SetBounds(x, 0, 3); err != nil {
 		t.Fatal(err)
 	}

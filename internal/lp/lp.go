@@ -1,5 +1,5 @@
-// Package lp implements a sparse revised-simplex solver for linear
-// programs.
+// Package lp implements a bounded-variable sparse revised-simplex solver
+// for linear programs.
 //
 // The paper formulates both the siting/provisioning problem and GreenNebula's
 // 48-hour workload-partitioning problem as (mixed-integer) linear programs
@@ -9,31 +9,49 @@
 // bounds, and reports infeasibility and unboundedness.  internal/milp adds
 // branch and bound on top for integer variables.
 //
-// # Architecture: revised simplex over a sparse basis
+// # Architecture: bounded revised simplex over a sparse basis
 //
-// The solver stores the standard-form constraint matrix column-wise (CSC,
-// built once per solve in standardize) and never forms a dense tableau.
-// The basis matrix is LU-factorized by a Gilbert–Peierls sparse
-// factorization with partial pivoting (lu.go); each simplex pivot appends a
-// product-form eta vector instead of re-eliminating rows, and the basis is
-// refactorized from scratch every refactorEvery pivots to bound eta-file
-// growth and rounding drift (revised.go).  Entering columns are priced over
-// an incrementally maintained reduced-cost row (one sparse BTRAN of the
-// leaving unit vector plus one pass over the CSC nonzeros per pivot); every
-// nominee's reduced cost is re-verified exactly from its FTRAN column — a
-// byproduct of the ratio test — so pricing drift can cost a re-pick, never a
-// junk pivot, and optimality is only declared after an exact rebuild.
+// The standard form is minimize c·y s.t. A·y = b, 0 ≤ y ≤ u with one row
+// per model constraint and nothing else: finite variable bounds are column
+// data, never rows.  A variable with a finite lower bound is shifted, one
+// that is free below but bounded above is mirrored (y = ub − x), and only
+// a doubly-free variable is split x = x⁺ − x⁻.  Every nonbasic column sits
+// at one of its bounds (at-lower or at-upper status); pricing is signed by
+// that status (a column improves by increasing off its lower bound when
+// its reduced cost is negative, by decreasing off its upper bound when it
+// is positive), and the ratio test caps the step at the entering column's
+// own opposite bound — when that cap binds first the iteration is a pure
+// bound flip: the status bit flips and the basic solution shifts, with no
+// basis change, no eta and no LU aging at all.  Fixed variables (lo == hi)
+// are pinned columns that are never priced.
+//
+// The solver stores the standard form column-wise (CSC, built once per
+// solve in standardize) and never forms a dense tableau.  The basis matrix
+// is LU-factorized by a Gilbert–Peierls sparse factorization with partial
+// pivoting (lu.go); each simplex pivot appends a product-form eta vector
+// instead of re-eliminating rows, and the basis is refactorized from
+// scratch every refactorEvery pivots to bound eta-file growth and rounding
+// drift (revised.go).  Entering columns are priced over an incrementally
+// maintained reduced-cost row (one sparse BTRAN of the leaving unit vector
+// plus one pass over the CSC nonzeros per pivot); every nominee's reduced
+// cost is re-verified exactly from its FTRAN column — a byproduct of the
+// ratio test — so pricing drift can cost a re-pick, never a junk pivot,
+// and optimality is only declared after an exact rebuild.
 //
 // # Warm starts
 //
 // A successful solve captures its optimal basis in model-level terms (the
-// Basis type: per row, which variable/slack/artificial is basic, keyed by
-// identities that survive re-standardization).  SolveFrom(basis) restarts
-// from it: after bound or right-hand-side mutations (SetBounds, SetRHS,
-// SetCoeff, SetCost) the old basis is typically primal-infeasible but still
-// dual-feasible, so a handful of dual-simplex pivots re-optimize in place of
-// a full two-phase solve.  internal/milp reuses each node's basis for its
-// children and internal/sched keeps one basis across scheduling rounds.
+// Basis type: per row, which variable/slack/artificial is basic, plus the
+// set of nonbasic columns at their upper bounds, keyed by identities that
+// survive re-standardization).  SolveFrom(basis) restarts from it: after
+// bound or right-hand-side mutations (SetBounds, SetRHS, SetCoeff,
+// SetCost) the old basis is typically primal-infeasible but still
+// dual-feasible — a tightened bound just moves the at-bound columns with
+// it — so a handful of bounded dual-simplex pivots (a basic value may now
+// violate either of its bounds) re-optimize in place of a full two-phase
+// solve.  internal/milp edits branch bounds on one shared relaxation, so a
+// branch-and-bound node adds zero rows and restarts from its parent's
+// basis; internal/sched keeps one basis across scheduling rounds.
 package lp
 
 import (

@@ -370,7 +370,7 @@ func TestEmptyConstraints(t *testing.T) {
 // TestFreeVariableEdgeCases exercises the free-variable split (x = x⁺ − x⁻)
 // beyond the basic TestFreeVariable: a free variable pinned by an equality,
 // an unbounded free direction, and a free variable with a finite negative
-// upper bound (whose bound row needs sign normalization plus an artificial).
+// upper bound (handled by the mirror substitution y = ub − x).
 func TestFreeVariableEdgeCases(t *testing.T) {
 	// Pinned by an equality with a bounded partner: x + y = 2, y ∈ [0, 5],
 	// minimize x → y = 5, x = −3.
@@ -513,7 +513,7 @@ func TestModeratelySizedLP(t *testing.T) {
 }
 
 // TestRandomizedSolutionsAreFeasible is the pricing-drift regression: over
-// randomized feasible LPs (with the badly scaled, bound-row-heavy shape of
+// randomized feasible LPs (with the badly scaled, bound-heavy shape of
 // the provisioning models), every solution the solver reports as Optimal
 // must actually satisfy all constraints and variable bounds, and must be at
 // least as good as the known feasible point the instance was built around.

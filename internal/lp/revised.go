@@ -11,7 +11,8 @@ const (
 	// refreshEvery bounds how stale the incrementally maintained
 	// reduced-cost row may get between exact rebuilds.
 	refreshEvery = 64
-	// feasTol is the primal feasibility tolerance on basic values.
+	// feasTol is the primal feasibility tolerance on basic values (against
+	// both bounds).
 	feasTol = 1e-9
 	// dualTol is the dual feasibility tolerance for accepting a warm basis
 	// as a dual-simplex starting point.
@@ -89,13 +90,17 @@ func (e *etaFile) btran(y []float64) {
 }
 
 // solver holds the revised-simplex working state for one standard form.
+// Every column is basic, nonbasic at its lower bound (value 0), or
+// nonbasic at its upper bound (value upper[j]); atUpper tracks the last
+// case and is false for every basic column by invariant.
 type solver struct {
 	std *standard
 	m   int
 
-	basis []int  // basis[i] = column basic at position i
-	basic []bool // per column
-	xB    []float64
+	basis   []int  // basis[i] = column basic at position i
+	basic   []bool // per column
+	atUpper []bool // per column; nonbasic-at-upper-bound status
+	xB      []float64
 
 	lu  luFactor
 	eta etaFile
@@ -117,6 +122,7 @@ func newSolver(std *standard) *solver {
 		m:          m,
 		basis:      make([]int, m),
 		basic:      make([]bool, std.nCols),
+		atUpper:    make([]bool, std.nCols),
 		xB:         make([]float64, m),
 		reduced:    make([]float64, std.nTotal),
 		w:          make([]float64, m),
@@ -195,7 +201,8 @@ func (s *solver) btranUnit(p int, out []float64) {
 }
 
 // refactorize rebuilds the LU factors of the current basis, clears the eta
-// file and recomputes the basic solution exactly.
+// file and recomputes the basic solution exactly from the nonbasic
+// statuses: B·xB = b − Σ over nonbasic-at-upper columns of uⱼ·Aⱼ.
 func (s *solver) refactorize() error {
 	if err := s.lu.factorize(s.std, s.basis); err != nil {
 		return err
@@ -203,18 +210,43 @@ func (s *solver) refactorize() error {
 	s.eta.reset()
 	s.sinceRefactor = 0
 	copy(s.rowScratch, s.std.b)
+	for j := 0; j < s.std.nTotal; j++ {
+		if !s.atUpper[j] {
+			continue
+		}
+		u := s.std.upper[j]
+		if u == 0 {
+			continue
+		}
+		rows, vals := s.std.col(j)
+		for k, r := range rows {
+			s.rowScratch[r] -= u * vals[k]
+		}
+	}
 	s.ftranVec(s.rowScratch, s.xB)
 	s.clampXB()
 	return nil
 }
 
-// clampXB zeroes roundoff-negative basic values within the feasibility
-// tolerance (the revised-simplex analogue of the dense pivot's rhs clamp).
+// clampBound snaps roundoff just outside [0, u] back onto the violated
+// bound (the revised-simplex analogue of the dense pivot's rhs clamp).
+func clampBound(v, u float64) float64 {
+	if v < 0 {
+		if v > -feasTol {
+			return 0
+		}
+		return v
+	}
+	if v > u && v < u+feasTol {
+		return u
+	}
+	return v
+}
+
+// clampXB applies clampBound to every basic value.
 func (s *solver) clampXB() {
 	for i, v := range s.xB {
-		if v < 0 && v > -feasTol {
-			s.xB[i] = 0
-		}
+		s.xB[i] = clampBound(v, s.std.upper[s.basis[i]])
 	}
 }
 
@@ -234,55 +266,88 @@ func (s *solver) rebuildReduced() {
 }
 
 // pickEntering nominates the entering column from the maintained
-// reduced-cost row: Dantzig's most-negative rule, or Bland's least-index
-// rule once the iteration count suggests degenerate stalling.
+// reduced-cost row.  Eligibility is signed by bound status: a column at its
+// lower bound improves by increasing (reduced cost < −ε), one at its upper
+// bound by decreasing (reduced cost > +ε); fixed columns (u = 0) cannot
+// move and are never priced.  Dantzig's most-violating rule by default, or
+// Bland's least-index rule once the iteration count suggests degenerate
+// stalling.
 func (s *solver) pickEntering(useBland bool) int {
 	entering := -1
-	best := -epsilon
+	best := epsilon
 	for j := 0; j < s.std.nTotal; j++ {
-		if s.basic[j] {
+		if s.basic[j] || s.std.upper[j] == 0 {
 			continue
 		}
-		r := s.reduced[j]
+		score := -s.reduced[j]
+		if s.atUpper[j] {
+			score = -score
+		}
 		if useBland {
-			if r < -epsilon {
+			if score > epsilon {
 				return j
 			}
-		} else if r < best {
-			best = r
+		} else if score > best {
+			best = score
 			entering = j
 		}
 	}
 	return entering
 }
 
-// applyPivot performs the basis change for entering column q leaving at
-// position p with FTRAN column w: update the basic solution, append the
-// eta, and swap the basis bookkeeping.
-func (s *solver) applyPivot(q, p int, w []float64) {
-	theta := s.xB[p] / w[p]
-	for i := range s.xB {
-		if i == p || w[i] == 0 {
-			continue
-		}
-		s.xB[i] -= theta * w[i]
-		if s.xB[i] < 0 && s.xB[i] > -feasTol {
-			s.xB[i] = 0
+// exchange performs the basis change for entering column q leaving at
+// position p with FTRAN column w: the entering variable's value moves by
+// delta off its current bound, every other basic value follows, the eta is
+// appended and the bookkeeping swapped.  leaveAtUpper places the leaving
+// variable at its upper instead of its lower bound.
+func (s *solver) exchange(q, p int, delta float64, w []float64, leaveAtUpper bool) {
+	if delta != 0 {
+		for i := range s.xB {
+			if i == p || w[i] == 0 {
+				continue
+			}
+			s.xB[i] = clampBound(s.xB[i]-delta*w[i], s.std.upper[s.basis[i]])
 		}
 	}
-	s.xB[p] = theta
+	enterVal := delta
+	if s.atUpper[q] {
+		enterVal += s.std.upper[q]
+	}
+	s.xB[p] = clampBound(enterVal, s.std.upper[q])
 	s.eta.push(p, w)
-	s.basic[s.basis[p]] = false
+	leave := s.basis[p]
+	s.basic[leave] = false
+	s.atUpper[leave] = leaveAtUpper && !math.IsInf(s.std.upper[leave], 1)
 	s.basic[q] = true
+	s.atUpper[q] = false
 	s.basis[p] = q
 	s.sinceRefactor++
+}
+
+// boundFlip moves nonbasic column q from one of its bounds to the other
+// without any basis change: the basic solution shifts by ∓u_q·w, the
+// status bit flips, and — because the basis matrix is untouched — there is
+// no eta push, no LU aging and no reduced-cost maintenance at all.
+func (s *solver) boundFlip(q int, w []float64) {
+	delta := s.std.upper[q]
+	if s.atUpper[q] {
+		delta = -delta
+	}
+	for i := range s.xB {
+		if w[i] == 0 {
+			continue
+		}
+		s.xB[i] = clampBound(s.xB[i]-delta*w[i], s.std.upper[s.basis[i]])
+	}
+	s.atUpper[q] = !s.atUpper[q]
 }
 
 // updateReducedAfterPivot maintains the reduced-cost row across the pivot
 // that entered q at position p with exact reduced cost dq: with ρ = row p of
 // the new basis inverse, d'_j = d_j − dq·(ρ·A_j).  One sparse BTRAN plus one
 // pass over the CSC nonzeros — the revised-simplex analogue of the dense
-// tableau's reduced-row elimination.
+// tableau's reduced-row elimination.  Bound statuses never enter: reduced
+// costs depend on the basis alone.
 func (s *solver) updateReducedAfterPivot(q int, p int, dq float64) {
 	rho := s.w // w's FTRAN contents are dead once the pivot is applied
 	s.btranUnit(p, rho)
@@ -298,7 +363,10 @@ func (s *solver) updateReducedAfterPivot(q int, p int, dq float64) {
 	s.stale++
 }
 
-// objective returns the active-cost objective of the current basic solution.
+// objective returns the active-cost objective over the basic values.  The
+// phase-1 checks are its only caller: artificials are never at an upper
+// bound and carry the only nonzero phase-1 costs, so the basic sum is the
+// whole phase-1 objective.
 func (s *solver) objective() float64 {
 	obj := 0.0
 	for i := 0; i < s.m; i++ {
@@ -346,61 +414,136 @@ func (s *solver) primal() Status {
 				dq -= ci * w[i]
 			}
 		}
-		if dq >= -epsilon {
+		sigma := 1.0 // direction of the entering variable's move
+		if s.atUpper[q] {
+			sigma = -1
+		}
+		if sigma*dq >= -epsilon {
 			s.reduced[q] = dq
 			continue
 		}
 
-		// Ratio test.  The default is a Harris-style two-pass: bound the
-		// step length with the feasibility tolerance, then among the rows
-		// that stay within the bound pick the LARGEST pivot element.  On
-		// badly scaled problems (the exact MILP's big-M rows) the FTRAN
-		// column can carry phantom entries — pure eta-file roundoff just
-		// above pivotEpsilon — and pivoting on one makes the basis exactly
-		// singular; preferring the largest eligible pivot never selects a
-		// phantom when a real entry is available.  Under Bland's rule the
-		// classic exact test with smallest-index ties is used instead, as
-		// its termination guarantee requires.
+		// Ratio test on the step t ≥ 0 of the entering variable along σ.
+		// Basic value i moves by −σ·t·wᵢ, so σ·wᵢ > 0 drives it toward its
+		// lower bound and σ·wᵢ < 0 toward its (finite) upper bound; the
+		// entering variable's own opposite bound caps t at u_q — and when
+		// that cap binds first the iteration is a pure bound flip with no
+		// basis change at all.
+		//
+		// The default is a Harris-style two-pass: bound the step length
+		// with the feasibility tolerance, then among the rows that stay
+		// within the bound pick the LARGEST pivot element.  On badly scaled
+		// problems (the exact MILP's big-M rows) the FTRAN column can carry
+		// phantom entries — pure eta-file roundoff just above pivotEpsilon —
+		// and pivoting on one makes the basis exactly singular; preferring
+		// the largest eligible pivot never selects a phantom when a real
+		// entry is available.  Under Bland's rule the classic exact test
+		// with smallest-index ties is used instead, as its termination
+		// guarantee requires (bound flips strictly improve the objective,
+		// so they never participate in a cycle).
+		uq := s.std.upper[q]
 		leaving := -1
+		leaveAtUpper := false
+		var step float64
 		if useBland {
 			bestRatio := math.Inf(1)
 			for i := 0; i < m; i++ {
-				wi := w[i]
-				if wi > pivotEpsilon {
-					ratio := s.xB[i] / wi
-					if ratio < bestRatio-epsilon ||
-						(math.Abs(ratio-bestRatio) <= epsilon && (leaving == -1 || s.basis[i] < s.basis[leaving])) {
-						bestRatio = ratio
-						leaving = i
+				d := sigma * w[i]
+				var ratio float64
+				var atUp bool
+				if d > pivotEpsilon {
+					ratio = s.xB[i] / d
+				} else if d < -pivotEpsilon {
+					ub := s.std.upper[s.basis[i]]
+					if math.IsInf(ub, 1) {
+						continue
 					}
+					ratio = (ub - s.xB[i]) / -d
+					atUp = true
+				} else {
+					continue
+				}
+				if ratio < bestRatio-epsilon ||
+					(math.Abs(ratio-bestRatio) <= epsilon && (leaving == -1 || s.basis[i] < s.basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+					leaveAtUpper = atUp
 				}
 			}
+			if !math.IsInf(uq, 1) && uq <= bestRatio {
+				s.boundFlip(q, w)
+				continue
+			}
+			if leaving == -1 {
+				return Unbounded
+			}
+			step = bestRatio
 		} else {
 			thetaMax := math.Inf(1)
 			for i := 0; i < m; i++ {
-				if wi := w[i]; wi > pivotEpsilon {
-					if r := (s.xB[i] + feasTol) / wi; r < thetaMax {
+				d := sigma * w[i]
+				if d > pivotEpsilon {
+					if r := (s.xB[i] + feasTol) / d; r < thetaMax {
+						thetaMax = r
+					}
+				} else if d < -pivotEpsilon {
+					ub := s.std.upper[s.basis[i]]
+					if math.IsInf(ub, 1) {
+						continue
+					}
+					if r := (ub - s.xB[i] + feasTol) / -d; r < thetaMax {
 						thetaMax = r
 					}
 				}
 			}
+			if !math.IsInf(uq, 1) && uq <= thetaMax {
+				s.boundFlip(q, w)
+				continue
+			}
+			if math.IsInf(thetaMax, 1) {
+				return Unbounded
+			}
 			bestW := 0.0
 			for i := 0; i < m; i++ {
-				wi := w[i]
-				if wi <= pivotEpsilon || s.xB[i]/wi > thetaMax {
+				d := sigma * w[i]
+				var ratio float64
+				var atUp bool
+				if d > pivotEpsilon {
+					ratio = s.xB[i] / d
+				} else if d < -pivotEpsilon {
+					ub := s.std.upper[s.basis[i]]
+					if math.IsInf(ub, 1) {
+						continue
+					}
+					ratio = (ub - s.xB[i]) / -d
+					atUp = true
+				} else {
 					continue
 				}
-				if wi > bestW || (wi == bestW && (leaving == -1 || s.basis[i] < s.basis[leaving])) {
-					bestW = wi
+				if ratio > thetaMax {
+					continue
+				}
+				aw := math.Abs(w[i])
+				if aw > bestW || (aw == bestW && (leaving == -1 || s.basis[i] < s.basis[leaving])) {
+					bestW = aw
 					leaving = i
+					leaveAtUpper = atUp
 				}
 			}
-		}
-		if leaving == -1 {
-			return Unbounded
+			if leaving == -1 {
+				// Cannot happen with a finite thetaMax (the row that set it
+				// is always eligible); treat defensively as numerical.
+				return statusNumeric
+			}
+			d := sigma * w[leaving]
+			if leaveAtUpper {
+				step = (s.std.upper[s.basis[leaving]] - s.xB[leaving]) / -d
+			} else {
+				step = s.xB[leaving] / d
+			}
 		}
 
-		s.applyPivot(q, leaving, w)
+		s.exchange(q, leaving, sigma*step, w, leaveAtUpper)
 		if s.sinceRefactor >= refactorEvery {
 			if err := s.refactorize(); err != nil {
 				return statusNumeric
@@ -417,9 +560,13 @@ func (s *solver) primal() Status {
 // until primal feasibility or a proof of infeasibility.  It is the
 // warm-start workhorse: after bound/rhs mutations the previous optimal
 // basis stays dual-feasible and a few dual pivots restore primal
-// feasibility.  Dual iterations rebuild the reduced-cost row exactly each
-// time — warm restarts take a handful of pivots, so exactness beats
-// maintenance here.
+// feasibility.  A basic value can now violate either bound: one below its
+// lower bound leaves at the lower bound, one above its (finite) upper
+// bound leaves at the upper bound, and the entering ratio test is signed
+// by each candidate's own bound status so the nonbasic reduced costs stay
+// dual-feasible (≥ 0 at lower, ≤ 0 at upper).  Dual iterations rebuild the
+// reduced-cost row exactly each time — warm restarts take a handful of
+// pivots, so exactness beats maintenance here.
 func (s *solver) dual() Status {
 	m, n := s.m, s.std.nCols
 	maxIter := 30 * (m + n)
@@ -430,45 +577,76 @@ func (s *solver) dual() Status {
 
 	s.rebuildReduced()
 	for iter := 0; iter < maxIter; iter++ {
-		// Leaving: most negative basic value.
+		// Leaving: largest bound violation among the basic values.
 		p := -1
-		worst := -feasTol
+		worst := feasTol
+		leaveAtUpper := false
 		for i, v := range s.xB {
-			if v < worst {
-				worst = v
+			if -v > worst {
+				worst = -v
 				p = i
+				leaveAtUpper = false
+			}
+			if ub := s.std.upper[s.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
+				worst = v - ub
+				p = i
+				leaveAtUpper = true
 			}
 		}
 		if p < 0 {
 			return Optimal
 		}
+		// r is the dual direction sign: +1 when the leaving value must
+		// rise back to its lower bound, −1 when it must fall to its upper.
+		r := 1.0
+		target := 0.0
+		if leaveAtUpper {
+			r = -1
+			target = s.std.upper[s.basis[p]]
+		}
 
 		s.btranUnit(p, rho)
 
-		// Entering: dual ratio test over the eligible columns of row p.
+		// Entering: dual ratio test over the eligible columns of row p.  A
+		// column at its lower bound can only increase (needs r·α < 0 to move
+		// xB_p toward its target) and must keep d ≥ 0; one at its upper
+		// bound can only decrease (needs r·α > 0) and must keep d ≤ 0.
 		q := -1
 		best := math.Inf(1)
 		for j := 0; j < s.std.nTotal; j++ {
-			if s.basic[j] {
+			if s.basic[j] || s.std.upper[j] == 0 {
 				continue
 			}
-			alpha := s.std.colDot(j, rho)
-			if alpha >= -pivotEpsilon {
-				continue
+			ra := r * s.std.colDot(j, rho)
+			var ratio float64
+			if s.atUpper[j] {
+				if ra <= pivotEpsilon {
+					continue
+				}
+				d := s.reduced[j]
+				if d > 0 {
+					d = 0
+				}
+				ratio = -d / ra
+			} else {
+				if ra >= -pivotEpsilon {
+					continue
+				}
+				d := s.reduced[j]
+				if d < 0 {
+					d = 0
+				}
+				ratio = d / -ra
 			}
-			d := s.reduced[j]
-			if d < 0 {
-				d = 0
-			}
-			ratio := d / -alpha
 			if ratio < best-epsilon || (math.Abs(ratio-best) <= epsilon && (q == -1 || j < q)) {
 				best = ratio
 				q = j
 			}
 		}
 		if q < 0 {
-			// Row p proves infeasibility — but only trust fresh factors:
-			// with etas stacked up, refactorize and re-verify first.
+			// Row p proves infeasibility — no movable nonbasic column can
+			// push its value back inside the bounds.  But only trust fresh
+			// factors: with etas stacked up, refactorize and re-verify first.
 			if s.eta.count() > 0 {
 				if err := s.refactorize(); err != nil {
 					return statusNumeric
@@ -480,9 +658,20 @@ func (s *solver) dual() Status {
 		}
 
 		w := s.ftranCol(q)
-		if w[p] >= -pivotEpsilon {
-			// FTRAN disagrees with the BTRAN row — numerical drift.
-			// Refactorize and retry the iteration.
+		delta := 0.0
+		ok := math.Abs(w[p]) > pivotEpsilon
+		if ok {
+			delta = (s.xB[p] - target) / w[p]
+			// The entering variable must move off its own bound in its only
+			// feasible direction; the FTRAN column disagreeing with the
+			// BTRAN row means numerical drift.
+			if s.atUpper[q] {
+				ok = delta <= epsilon
+			} else {
+				ok = delta >= -epsilon
+			}
+		}
+		if !ok {
 			if s.sinceRefactor == 0 {
 				return statusNumeric
 			}
@@ -493,7 +682,7 @@ func (s *solver) dual() Status {
 			continue
 		}
 
-		s.applyPivot(q, p, w)
+		s.exchange(q, p, delta, w, leaveAtUpper)
 		if s.sinceRefactor >= refactorEvery {
 			if err := s.refactorize(); err != nil {
 				return statusNumeric
@@ -540,7 +729,10 @@ func (s *solver) driveOutArtificials() error {
 		if math.Abs(w[p]) <= pivotEpsilon || math.Abs(w[p]) <= 1e-9*wMax {
 			continue
 		}
-		s.applyPivot(found, p, w)
+		// The artificial sits at ~0, so the entering column barely moves
+		// off its bound: a degenerate exchange with the artificial leaving
+		// at its lower bound.
+		s.exchange(found, p, s.xB[p]/w[p], w, false)
 		if s.sinceRefactor >= refactorEvery {
 			if err := s.refactorize(); err != nil {
 				return err
@@ -550,13 +742,22 @@ func (s *solver) driveOutArtificials() error {
 	return nil
 }
 
-// values scatters the basic solution into a standard-form column vector.
+// values scatters the current solution into a standard-form column vector:
+// basic values clamped to their bounds plus every nonbasic-at-upper column
+// at its upper bound.
 func (s *solver) values() []float64 {
 	out := make([]float64, s.std.nCols)
+	for j := 0; j < s.std.nTotal; j++ {
+		if s.atUpper[j] && !s.basic[j] {
+			out[j] = s.std.upper[j]
+		}
+	}
 	for i, b := range s.basis {
 		v := s.xB[i]
 		if v < 0 {
 			v = 0
+		} else if u := s.std.upper[b]; v > u {
+			v = u
 		}
 		out[b] = v
 	}
@@ -579,22 +780,27 @@ func (s *solver) artificialsClean() bool {
 // Optimal) the captured basis.
 func (s *standard) solve(warm *Basis) (Status, []float64, *Basis) {
 	if s.m == 0 {
-		// No rows: every standard-form variable is only bounded below by
-		// zero, so any negative cost direction is unbounded.
+		// No rows: every column sits at whichever of its bounds its cost
+		// prefers; a negative cost with no finite upper bound is an
+		// unbounded ray.
+		vals := make([]float64, s.nCols)
 		for j := 0; j < s.nTotal; j++ {
 			if s.c[j] < -epsilon {
-				return Unbounded, nil, nil
+				if math.IsInf(s.upper[j], 1) {
+					return Unbounded, nil, nil
+				}
+				vals[j] = s.upper[j]
 			}
 		}
-		return Optimal, make([]float64, s.nCols), &Basis{}
+		return Optimal, vals, &Basis{}
 	}
 
 	if warm != nil {
-		if basisArr, ok := s.installBasis(warm); ok {
+		if basisArr, atUp, ok := s.installBasis(warm); ok {
 			sv := newSolver(s)
-			if st, vals := sv.solveWarm(basisArr); st != statusRetry {
+			if st, vals := sv.solveWarm(basisArr, atUp); st != statusRetry {
 				if st == Optimal {
-					return st, vals, s.captureBasis(sv.basis)
+					return st, vals, s.captureBasis(sv.basis, sv.atUpper)
 				}
 				return st, vals, nil
 			}
@@ -604,25 +810,27 @@ func (s *standard) solve(warm *Basis) (Status, []float64, *Basis) {
 	sv := newSolver(s)
 	st, vals := sv.solveCold()
 	if st == Optimal {
-		return st, vals, s.captureBasis(sv.basis)
+		return st, vals, s.captureBasis(sv.basis, sv.atUpper)
 	}
 	return st, vals, nil
 }
 
-// solveWarm restarts from a mapped basis: factorize it, then go straight to
-// primal phase 2 if the basic solution is still feasible, or re-optimize
-// with the dual simplex if it is at least dual-feasible.  statusRetry means
-// the warm basis was unusable and the caller should solve cold.
-func (sv *solver) solveWarm(basisArr []int) (Status, []float64) {
+// solveWarm restarts from a mapped basis and its nonbasic-at-bound
+// statuses: factorize it, then go straight to primal phase 2 if the basic
+// solution is still within bounds, or re-optimize with the dual simplex if
+// it is at least dual-feasible.  statusRetry means the warm basis was
+// unusable and the caller should solve cold.
+func (sv *solver) solveWarm(basisArr []int, atUpper []bool) (Status, []float64) {
 	sv.setBasis(basisArr)
+	copy(sv.atUpper, atUpper)
 	sv.cost = sv.std.c
 	if err := sv.refactorize(); err != nil {
 		return statusRetry, nil
 	}
 
 	primalFeasible := true
-	for _, v := range sv.xB {
-		if v < 0 {
+	for i, v := range sv.xB {
+		if v < 0 || v > sv.std.upper[sv.basis[i]] {
 			primalFeasible = false
 			break
 		}
@@ -630,7 +838,11 @@ func (sv *solver) solveWarm(basisArr []int) (Status, []float64) {
 	if !primalFeasible {
 		sv.rebuildReduced()
 		for j := 0; j < sv.std.nTotal; j++ {
-			if !sv.basic[j] && sv.reduced[j] < -dualTol {
+			if sv.basic[j] || sv.std.upper[j] == 0 {
+				continue
+			}
+			d := sv.reduced[j]
+			if (sv.atUpper[j] && d > dualTol) || (!sv.atUpper[j] && d < -dualTol) {
 				return statusRetry, nil // neither primal- nor dual-feasible
 			}
 		}
@@ -672,7 +884,7 @@ func (sv *solver) solveWarm(basisArr []int) (Status, []float64) {
 }
 
 // solveCold runs the classic two-phase method from the all-slack/artificial
-// starting basis.
+// starting basis, every structural column nonbasic at its lower bound.
 func (sv *solver) solveCold() (Status, []float64) {
 	st := sv.std
 	basisArr := make([]int, st.m)
@@ -695,7 +907,8 @@ func (sv *solver) solveCold() (Status, []float64) {
 	if hasArt {
 		// Phase 1: minimize the sum of artificial values.  The starting
 		// basis is primal-feasible for this objective by construction
-		// (xB = b ≥ 0), and artificials never re-enter once driven out.
+		// (xB = b ≥ 0 with every nonbasic structural at lower, so no upper
+		// bound is active), and artificials never re-enter once driven out.
 		phase1 := make([]float64, st.nCols)
 		for j := st.nTotal; j < st.nCols; j++ {
 			phase1[j] = 1

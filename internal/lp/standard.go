@@ -2,39 +2,43 @@ package lp
 
 import "math"
 
-// Standard-form column and row identities.  The revised simplex works on
-// column indices of one particular standardization; a Basis must survive
+// Standard-form column identities.  The revised simplex works on column
+// indices of one particular standardization; a Basis must survive
 // re-standardization after bound/rhs mutations, so it stores these
 // model-level identities instead and installBasis maps them back to column
 // indices.
 
 const (
-	identStruct = int8(iota) // structural (positive-part) column of variable idx
+	identStruct = int8(iota) // structural column of variable idx
 	identNeg                 // negative part of free variable idx
-	identSlack               // slack/surplus column of a row
-	identArt                 // artificial column of a row
+	identSlack               // slack/surplus column of constraint idx
+	identArt                 // artificial column of constraint idx
 )
 
-// rowIdent names a standard-form row: either original constraint idx or the
-// upper-bound row of variable idx.
-type rowIdent struct {
-	bound bool
-	idx   int
-}
-
-// colIdent names a standard-form column.  For identSlack/identArt, bound and
-// idx identify the row the column belongs to.
+// colIdent names a standard-form column.  For identSlack/identArt, idx is
+// the constraint the column belongs to; rows themselves need no identity
+// because the standard form has exactly one row per model constraint, in
+// insertion order (variable bounds never spawn rows).
 type colIdent struct {
-	kind  int8
-	bound bool
-	idx   int
+	kind int8
+	idx  int
 }
 
-// standard is the problem in computational standard form —
-// minimize c·y subject to A·y = b, y ≥ 0, b ≥ 0 — with A stored
-// column-wise (CSC): column j's nonzeros are rowIdx/vals[colPtr[j]:
-// colPtr[j+1]], row indices ascending.  Columns are laid out structural
-// [0, nStruct), slack/surplus [nStruct, nTotal), artificial [nTotal, nCols).
+// standard is the problem in computational bounded standard form —
+// minimize c·y subject to A·y = b, 0 ≤ y ≤ u (u may be +Inf per column,
+// and 0 for a fixed variable), b ≥ 0 — with A stored column-wise (CSC):
+// column j's nonzeros are rowIdx/vals[colPtr[j]:colPtr[j+1]], row indices
+// ascending.  Columns are laid out structural [0, nStruct), slack/surplus
+// [nStruct, nTotal), artificial [nTotal, nCols).
+//
+// Variable bounds are implicit data, never rows: a variable with a finite
+// lower bound is shifted (y = x − lb, u = ub − lb), a variable with lb = −∞
+// but a finite upper bound is mirrored (y = ub − x, u = +∞, coefficients
+// and cost negated), and only a doubly-free variable is split x = x⁺ − x⁻.
+// The simplex keeps nonbasic columns at either bound (see revised.go), so
+// tightening or relaxing a bound is a pure data edit: the row count — and
+// with it the basis dimension and the LU — is always exactly the model's
+// constraint count.
 type standard struct {
 	m       int
 	nStruct int
@@ -48,17 +52,23 @@ type standard struct {
 	b []float64
 	c []float64 // phase-2 objective (sense-normalized), zero on slack/artificial
 
+	// upper[j] is column j's upper bound: ub−lb for shifted structural
+	// columns (0 when the variable is fixed), +Inf for mirrored/split
+	// structural columns and for every slack, surplus and artificial.
+	upper []float64
+
 	// slackOf[i]/artOf[i] is row i's slack/artificial column, or -1.
 	slackOf []int
 	artOf   []int
 
-	rowIDs []rowIdent
 	colIDs []colIdent
 
-	// shift maps original variable index to its lower bound (y = x − lb).
-	shift []float64
+	// shift maps original variable index to its lower bound (y = x − lb),
+	// or to its upper bound when mirror[j] is set (y = ub − x).
+	shift  []float64
+	mirror []bool
 	// negPart[j] is the column index of the negative part of original
-	// variable j when it is free (split x = x⁺ − x⁻), or -1.
+	// variable j when it is doubly free (split x = x⁺ − x⁻), or -1.
 	negPart []int
 }
 
@@ -85,23 +95,35 @@ func (p *Problem) standardize() (*standard, error) {
 	n := len(p.vars)
 	std := &standard{
 		shift:   make([]float64, n),
+		mirror:  make([]bool, n),
 		negPart: make([]int, n),
 	}
 
-	// Structural columns: one per variable, plus one extra per free
-	// variable (x = x⁺ − x⁻ when lb = −inf).
+	// Structural columns: one per variable, plus one extra per doubly-free
+	// variable (x = x⁺ − x⁻ when lb = −inf and ub = +inf).  sgn[j] is the
+	// coefficient multiplier of variable j's primary column (−1 when
+	// mirrored).
 	col := 0
 	colOf := make([]int, n)
+	sgn := make([]float64, n)
 	for j, v := range p.vars {
 		colOf[j] = col
 		std.negPart[j] = -1
-		if math.IsInf(v.lb, -1) {
+		sgn[j] = 1
+		switch {
+		case !math.IsInf(v.lb, -1):
+			std.shift[j] = v.lb
+			col++
+		case !math.IsInf(v.ub, 1):
+			// lb = −∞, ub finite: mirror y = ub − x.
+			std.mirror[j] = true
+			std.shift[j] = v.ub
+			sgn[j] = -1
+			col++
+		default:
 			std.shift[j] = 0
 			col++
 			std.negPart[j] = col
-			col++
-		} else {
-			std.shift[j] = v.lb
 			col++
 		}
 	}
@@ -112,34 +134,22 @@ func (p *Problem) standardize() (*standard, error) {
 		sign = -1.0
 	}
 
-	// Rows: original constraints plus upper-bound rows.
+	// Rows: exactly the original constraints, in insertion order.
 	type row struct {
 		coeffs map[int]float64
 		op     Op
 		rhs    float64
-		id     rowIdent
 	}
-	rows := make([]row, 0, len(p.cons)+n)
-	for ci, c := range p.cons {
-		r := row{coeffs: make(map[int]float64, len(c.terms)), op: c.op, rhs: c.rhs, id: rowIdent{idx: ci}}
+	rows := make([]row, 0, len(p.cons))
+	for _, c := range p.cons {
+		r := row{coeffs: make(map[int]float64, len(c.terms)), op: c.op, rhs: c.rhs}
 		for _, t := range c.terms {
 			j := int(t.Var)
 			r.rhs -= t.Coeff * std.shift[j]
-			r.coeffs[colOf[j]] += t.Coeff
+			r.coeffs[colOf[j]] += sgn[j] * t.Coeff
 			if std.negPart[j] >= 0 {
 				r.coeffs[std.negPart[j]] -= t.Coeff
 			}
-		}
-		rows = append(rows, r)
-	}
-	for j, v := range p.vars {
-		if math.IsInf(v.ub, 1) {
-			continue
-		}
-		r := row{coeffs: map[int]float64{colOf[j]: 1}, op: LE, rhs: v.ub - std.shift[j],
-			id: rowIdent{bound: true, idx: j}}
-		if std.negPart[j] >= 0 {
-			r.coeffs[std.negPart[j]] = -1
 		}
 		rows = append(rows, r)
 	}
@@ -149,7 +159,6 @@ func (p *Problem) standardize() (*standard, error) {
 	std.b = make([]float64, m)
 	std.slackOf = make([]int, m)
 	std.artOf = make([]int, m)
-	std.rowIDs = make([]rowIdent, m)
 
 	// Normalize to b ≥ 0 and count slack/surplus columns.
 	nSlack := 0
@@ -176,7 +185,6 @@ func (p *Problem) standardize() (*standard, error) {
 	artCol := std.nTotal
 	for i := range rows {
 		std.b[i] = rows[i].rhs
-		std.rowIDs[i] = rows[i].id
 		std.slackOf[i], std.artOf[i] = -1, -1
 		switch rows[i].op {
 		case LE:
@@ -194,12 +202,19 @@ func (p *Problem) standardize() (*standard, error) {
 	}
 	std.nCols = artCol
 
-	// Objective over structural columns.
+	// Objective and upper bounds over the standard-form columns.
 	std.c = make([]float64, std.nCols)
+	std.upper = make([]float64, std.nCols)
+	for j := range std.upper {
+		std.upper[j] = math.Inf(1)
+	}
 	for j, v := range p.vars {
-		std.c[colOf[j]] = sign * v.cost
+		std.c[colOf[j]] = sign * sgn[j] * v.cost
 		if std.negPart[j] >= 0 {
 			std.c[std.negPart[j]] = -sign * v.cost
+		}
+		if !math.IsInf(v.lb, -1) && !math.IsInf(v.ub, 1) {
+			std.upper[colOf[j]] = v.ub - v.lb
 		}
 	}
 
@@ -213,10 +228,10 @@ func (p *Problem) standardize() (*standard, error) {
 	}
 	for i := range rows {
 		if s := std.slackOf[i]; s >= 0 {
-			std.colIDs[s] = colIdent{kind: identSlack, bound: rows[i].id.bound, idx: rows[i].id.idx}
+			std.colIDs[s] = colIdent{kind: identSlack, idx: i}
 		}
 		if a := std.artOf[i]; a >= 0 {
-			std.colIDs[a] = colIdent{kind: identArt, bound: rows[i].id.bound, idx: rows[i].id.idx}
+			std.colIDs[a] = colIdent{kind: identArt, idx: i}
 		}
 	}
 
@@ -284,11 +299,17 @@ func (s *standard) recover(values []float64) []float64 {
 	for j := range s.shift {
 		v := values[col]
 		col++
-		if s.negPart[j] >= 0 {
+		switch {
+		case s.mirror[j]:
+			v = s.shift[j] - v
+		case s.negPart[j] >= 0:
 			v -= values[s.negPart[j]]
 			col++
+			v += s.shift[j]
+		default:
+			v += s.shift[j]
 		}
-		out[j] = v + s.shift[j]
+		out[j] = v
 	}
 	return out
 }

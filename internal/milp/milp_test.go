@@ -325,3 +325,42 @@ func TestSchedulerShapedMILP(t *testing.T) {
 		t.Errorf("objective = %v, want 160", sol.Objective)
 	}
 }
+
+// TestBranchingAddsNoRows pins the bounded-simplex contract branch and
+// bound relies on: every node re-solves the one shared relaxation with its
+// branch bounds edited in place (lp.SetBounds), so the relaxation's
+// constraint count — and with it the simplex basis dimension, now that
+// internal/lp keeps variable bounds implicit — never grows, no matter how
+// many nodes the search explores.
+func TestBranchingAddsNoRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewProblem(lp.Maximize)
+	terms := make([]lp.Term, 0, 12)
+	for i := 0; i < 12; i++ {
+		v, err := p.AddIntegerVariable("item", 0, 3, 1+rng.Float64()*9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		terms = append(terms, lp.Term{Var: v, Coeff: 1 + rng.Float64()*5})
+	}
+	if err := p.AddConstraint("capacity", lp.LE, 23, terms...); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Nodes < 3 {
+		t.Fatalf("only %d nodes explored; the instance should branch", sol.Nodes)
+	}
+	if p.relax == nil {
+		t.Fatal("no shared relaxation was built")
+	}
+	if got, want := p.relax.NumConstraints(), len(p.lpProto.cons); got != want {
+		t.Errorf("relaxation has %d constraints after %d nodes, want %d: branching must edit bounds, not add rows",
+			got, sol.Nodes, want)
+	}
+	if got, want := p.relax.NumVariables(), len(p.lpProto.vars); got != want {
+		t.Errorf("relaxation has %d variables, want %d", got, want)
+	}
+}

@@ -106,11 +106,19 @@ type Scheduler struct {
 	// Cached partition LP.  The problem structure depends only on
 	// (datacenter count, horizon), so consecutive Partition calls with the
 	// same shape reuse one lp.Problem — only the right-hand sides (load,
-	// forecasts, capacities), the PUE coefficients and the price-derived
-	// costs are rewritten — and warm-start from the previous round's
-	// optimal basis.  Hour-over-hour the forecasts barely move, so the
-	// re-solve is a short dual-simplex restart instead of a two-phase
+	// forecasts), the capacity bounds, the PUE coefficients and the
+	// price-derived costs are rewritten — and warm-start from the previous
+	// round's optimal basis.  Hour-over-hour the forecasts barely move, so
+	// the re-solve is a short dual-simplex restart instead of a two-phase
 	// solve from scratch.
+	//
+	// Site capacity enters as the implicit variable bound
+	// loadV[d][h] ∈ [0, CapacityKW] (valid because load ≤ load + overhead
+	// ≤ capacity), so a capacity change between rounds is a pure SetBounds
+	// data edit and a full-capacity hour parks the load column
+	// nonbasic-at-upper — a bound flip instead of a basis pivot on the
+	// capacity row.  Only the overhead-inclusive limit load + mig ≤ cap
+	// stays a row, because it genuinely couples two variables.
 	lpProb    *lp.Problem
 	lpN       int
 	lpHorizon int
@@ -205,8 +213,20 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 // buildPartitionLP constructs the partition LP's structure for the given
 // shape, recording every variable handle and constraint index so
 // updatePartitionLP can rewrite the round-specific numbers in place.  All
-// coefficients, costs and right-hand sides are placeholders (zeros) here;
+// coefficients, costs, bounds and right-hand sides are placeholders here;
 // a cached problem is never solved without updatePartitionLP running first.
+//
+// Capacity appears twice, deliberately asymmetrically.  The binding limit
+// load + mig ≤ cap must stay a row (it couples two variables), but the
+// load variable additionally carries the implicit bound [0, cap] — implied
+// by that row, so the feasible set is unchanged — because the bounded
+// simplex then parks a site that runs at full capacity nonbasic-at-upper:
+// the green-rich hours that used to pivot on the capacity row become bound
+// flips with no basis change at all.  (An earlier draft replaced the cap
+// row with a total-power variable bounded by capacity; that made the new
+// variable basic in almost every datacenter-hour — it equals the load at
+// the optimum — and cost ~n·horizon extra cold-solve pivots, a measured
+// ~30% SchedulerComputeTime regression, so the row stayed.)
 func (s *Scheduler) buildPartitionLP(n, horizon int) error {
 	prob := lp.NewProblem(lp.Minimize)
 	s.lpProb, s.lpN, s.lpHorizon = nil, 0, 0
@@ -222,10 +242,6 @@ func (s *Scheduler) buildPartitionLP(n, horizon int) error {
 	var err error
 	for d := 0; d < n; d++ {
 		for h := 0; h < horizon; h++ {
-			// No explicit upper bound: the capacity constraint below
-			// (load + migOut ≤ capacity with migOut ≥ 0) already bounds the
-			// load, and a redundant variable bound would add one row plus
-			// one slack column per datacenter-hour to the LP.
 			if s.loadV[d][h], err = prob.AddVariable("load", 0, lp.Infinity, 0); err != nil {
 				return err
 			}
@@ -256,27 +272,26 @@ func (s *Scheduler) buildPartitionLP(n, horizon int) error {
 		for h := 0; h < horizon; h++ {
 			// Migration overhead: load leaving this site between h−1 and h
 			// burns power here for a fraction of hour h.
-			s.conMig[d][h] = -1
-			if f > 0 {
-				terms := []lp.Term{
-					{Var: s.migV[d][h], Coeff: 1},
-					{Var: s.loadV[d][h], Coeff: f},
-				}
-				if h > 0 {
-					terms = append(terms, lp.Term{Var: s.loadV[d][h-1], Coeff: -f})
-				}
-				if err := prob.AddConstraint("migOut", lp.GE, 0, terms...); err != nil {
-					return err
-				}
-				s.conMig[d][h] = next
-				next++
+			terms := []lp.Term{
+				{Var: s.migV[d][h], Coeff: 1},
+				{Var: s.loadV[d][h], Coeff: f},
 			}
+			if h > 0 {
+				terms = append(terms, lp.Term{Var: s.loadV[d][h-1], Coeff: -f})
+			}
+			if err := prob.AddConstraint("migOut", lp.GE, 0, terms...); err != nil {
+				return err
+			}
+			s.conMig[d][h] = next
+			next++
 			// Brown power covers whatever facility demand the green
-			// forecast cannot: brown ≥ (load+mig)·PUE − green.
-			if err := prob.AddConstraint("brown", lp.GE, 0,
-				lp.Term{Var: s.brownV[d][h], Coeff: 1},
-				lp.Term{Var: s.loadV[d][h], Coeff: -1},
-				lp.Term{Var: s.migV[d][h], Coeff: -1}); err != nil {
+			// forecast cannot: PUE·(load + mig) − brown ≤ green.  Written
+			// in ≤ form so a zero-green hour still standardizes to a slack
+			// start instead of an artificial.
+			if err := prob.AddConstraint("brown", lp.LE, 0,
+				lp.Term{Var: s.loadV[d][h], Coeff: 1},
+				lp.Term{Var: s.migV[d][h], Coeff: 1},
+				lp.Term{Var: s.brownV[d][h], Coeff: -1}); err != nil {
 				return err
 			}
 			s.conBrown[d][h] = next
@@ -297,8 +312,9 @@ func (s *Scheduler) buildPartitionLP(n, horizon int) error {
 
 // updatePartitionLP rewrites the round-specific numbers of the cached LP:
 // right-hand sides (total load, current loads, green forecasts,
-// capacities), the per-hour PUE coefficients of the brown rows, and the
-// price-derived variable costs.
+// capacities), the per-site capacity bounds on the load variables, the
+// per-hour PUE coefficients of the brown rows, and the price-derived
+// variable costs.
 func (s *Scheduler) updatePartitionLP(dcs []DatacenterState, totalLoadKW float64) error {
 	prob := s.lpProb
 	horizon := s.lpHorizon
@@ -320,24 +336,25 @@ func (s *Scheduler) updatePartitionLP(dcs []DatacenterState, totalLoadKW float64
 			if err := prob.SetCost(s.brownV[d][h], brownCost); err != nil {
 				return err
 			}
-			if c := s.conMig[d][h]; c >= 0 {
-				rhs := 0.0
-				if h == 0 {
-					rhs = f * dc.CurrentLoadKW
-				}
-				if err := prob.SetRHS(c, rhs); err != nil {
-					return err
-				}
+			if err := prob.SetBounds(s.loadV[d][h], 0, dc.CapacityKW); err != nil {
+				return err
+			}
+			rhs := 0.0
+			if h == 0 {
+				rhs = f * dc.CurrentLoadKW
+			}
+			if err := prob.SetRHS(s.conMig[d][h], rhs); err != nil {
+				return err
 			}
 			pue := dc.pueAt(h)
 			c := s.conBrown[d][h]
-			if err := prob.SetRHS(c, -dc.GreenForecastKW[h]); err != nil {
+			if err := prob.SetRHS(c, dc.GreenForecastKW[h]); err != nil {
 				return err
 			}
-			if err := prob.SetCoeff(c, s.loadV[d][h], -pue); err != nil {
+			if err := prob.SetCoeff(c, s.loadV[d][h], pue); err != nil {
 				return err
 			}
-			if err := prob.SetCoeff(c, s.migV[d][h], -pue); err != nil {
+			if err := prob.SetCoeff(c, s.migV[d][h], pue); err != nil {
 				return err
 			}
 			if err := prob.SetRHS(s.conCap[d][h], dc.CapacityKW); err != nil {

@@ -261,3 +261,50 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("default migration fraction = %v, want 1", s.opts.MigrationFraction)
 	}
 }
+
+// TestPartitionCapacityBoundBinds pins the capacity-as-variable-bound
+// formulation: when one site holds all the green energy but has too little
+// capacity for the whole load, the plan pins its load exactly at the
+// capacity bound; shrinking the capacity between rounds is a pure bound
+// edit on the cached LP, and the warm re-solve must honor the new bound
+// and agree with a cold scheduler.
+func TestPartitionCapacityBoundBinds(t *testing.T) {
+	horizon := 6
+	mkDCs := func(capA float64) []DatacenterState {
+		return []DatacenterState{
+			{Name: "green", CapacityKW: capA, CurrentLoadKW: 0,
+				GreenForecastKW: forecast(horizon, []float64{1000}),
+				PUE:             []float64{1.1}, GridPriceUSDPerKWh: 0.1},
+			{Name: "brown", CapacityKW: 500, CurrentLoadKW: 200,
+				GreenForecastKW: forecast(horizon, []float64{0}),
+				PUE:             []float64{1.1}, GridPriceUSDPerKWh: 0.1},
+		}
+	}
+	s := New(Options{HorizonHours: horizon, MigrationFraction: 0.1})
+	plan, err := s.Partition(mkDCs(120), 200)
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	for h := 1; h < horizon; h++ {
+		if math.Abs(plan.LoadKW[0][h]-120) > 1e-6 {
+			t.Fatalf("hour %d: green-site load %v, want pinned at its 120 kW capacity", h, plan.LoadKW[0][h])
+		}
+	}
+	// Round 2: the green site lost a rack; its capacity bound tightens.
+	warm, err := s.Partition(mkDCs(90), 200)
+	if err != nil {
+		t.Fatalf("round 2 warm: %v", err)
+	}
+	cold, err := New(Options{HorizonHours: horizon, MigrationFraction: 0.1}).Partition(mkDCs(90), 200)
+	if err != nil {
+		t.Fatalf("round 2 cold: %v", err)
+	}
+	for h := 1; h < horizon; h++ {
+		if warm.LoadKW[0][h] > 90+1e-6 {
+			t.Fatalf("hour %d: green-site load %v exceeds the tightened 90 kW bound", h, warm.LoadKW[0][h])
+		}
+	}
+	if math.Abs(warm.BrownKWh-cold.BrownKWh) > 1e-6 {
+		t.Errorf("warm BrownKWh %v, cold %v", warm.BrownKWh, cold.BrownKWh)
+	}
+}
