@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,10 @@ func main() {
 
 func run() error {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run: all, or one of "+strings.Join(experiments.IDs(), ", "))
-		full = flag.Bool("full", false, "use the paper-scale catalog and search budgets (slow)")
-		seed = flag.Int64("seed", 1, "random seed for the synthetic catalog")
+		exp     = flag.String("exp", "all", "experiment to run: all, or one of "+strings.Join(experiments.IDs(), ", "))
+		full    = flag.Bool("full", false, "use the paper-scale catalog and search budgets (slow)")
+		seed    = flag.Int64("seed", 1, "random seed for the synthetic catalog")
+		timeout = flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 5m); 0 means no limit. Experiments finished before the deadline are still printed.")
 	)
 	flag.Parse()
 
@@ -31,7 +33,13 @@ func run() error {
 	if *full {
 		budget = experiments.Full
 	}
-	suite, err := experiments.NewSuite(experiments.Config{Budget: budget, Seed: *seed})
+	cfg := experiments.Config{Budget: budget, Seed: *seed}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
+	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
 		return err
 	}

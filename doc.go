@@ -150,6 +150,54 @@
 // previous point's siting (experiments.Config.DisableWarmStart turns that
 // off).
 //
+// # Failure semantics: budgets, recovery, degradation
+//
+// No exported API panics on valid inputs; everything that can go wrong is
+// an error, a recovery, or a tagged degradation, layer by layer:
+//
+//   - internal/lp recovers before it reports.  A solve climbs a structured
+//     ladder instead of failing on the first numerical incident: a run of
+//     degenerate (zero-step) pivots switches pricing to Bland's rule after a
+//     fresh refactorization; a singular basis factorization is repaired in
+//     place by ejecting the offending basic column for the slack of an
+//     unpivotable row and retrying (up to a small budget); non-finite
+//     FTRAN/BTRAN results are caught by NaN/Inf guards and answered with a
+//     refactorization rather than a poisoned pivot — including on the
+//     optimality exit, so NaN reduced costs can never fake an optimum.  A
+//     warm start whose ladder runs out falls back to a cold two-phase solve;
+//     only when that fails too does the caller see ErrNumeric.
+//     Solution.Stats counts every rung taken (pivots, bound flips,
+//     refactorizations, Bland switches, repairs, NaN guards, cold
+//     fallbacks).  lp.SolveOptions adds budgets: Deadline and Ctx stop the
+//     solve between pivots with ErrDeadline/ErrCancelled (wrapping the
+//     context package's errors), and budget stops are final — they never
+//     trigger a cold retry.
+//   - internal/milp treats budgets as "return your best", not "fail".  When
+//     MaxNodes, the Deadline or the Ctx runs out after an incumbent exists,
+//     Solve returns it with a nil error, Proven false and the residual
+//     bound Gap; the budget errors (ErrNodeLimit, ErrDeadline,
+//     ErrCancelled) only surface when the budget ran out before any
+//     feasible solution was found.
+//   - internal/sched degrades instead of erroring: if the partition LP
+//     fails (numerically or past Options.LPTimeout), Partition returns a
+//     feasible static greedy split — current loads clipped to capacity,
+//     spare load to the greenest headroom — tagged Plan.Degraded with the
+//     reason, so an hourly control loop always has a plan to execute.  The
+//     corrupt warm basis is dropped and the next healthy round returns to
+//     LP-optimal plans.
+//   - internal/anneal, core.Solve, core.SolveExact and the experiment suite
+//     accept a context.Context and cancel cooperatively.  Chains poll the
+//     context before consuming any randomness, so an uncancelled run is
+//     bit-identical to one without a context; a cancelled run stops
+//     promptly and hands back the partial best alongside the context error.
+//
+// Every rung of this ladder is exercised deterministically: internal/lp
+// exports named fault points (lp.ArmFault/lp.DisarmFaults — force a
+// singular LU, corrupt an eta vector, poison an FTRAN column, expire the
+// deadline at an exact pivot, trip the stall detector) that the resilience
+// suites in lp, sched and milp use to inject real mid-solve failures
+// (`make test-faults` runs them under the race detector).
+//
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; `make bench` snapshots them into a BENCH_<date>.json
 // so the performance trajectory is tracked per PR.  See DESIGN.md for the

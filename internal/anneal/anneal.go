@@ -12,6 +12,7 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -77,6 +78,12 @@ type Config[S any] struct {
 	// goroutine instead of in parallel.  The result is identical either
 	// way; the switch exists so tests can verify exactly that.
 	Sequential bool
+	// Ctx, when non-nil, cancels the run cooperatively: every chain checks
+	// it once per iteration (before consuming any randomness, so an
+	// uncancelled run with a Ctx is bit-identical to one without) and stops
+	// early when it is done.  Run then merges whatever the chains found so
+	// far and returns it together with the context's error.
+	Ctx context.Context
 }
 
 // Result is the outcome of an annealing run.
@@ -178,6 +185,15 @@ func Run[S any](cfg Config[S]) (Result[S], error) {
 		}
 
 		for iters < cfg.MaxIterations && stale < cfg.MaxStale && temp > minTemp {
+			if cfg.Ctx != nil {
+				// Checked before any RNG draw so cancellation can never
+				// perturb the trajectory of a run that finishes normally.
+				select {
+				case <-cfg.Ctx.Done():
+					return chainResult[S]{best: best, bestEnergy: bestEnergy, iterations: iters, evaluations: evals}
+				default:
+				}
+			}
 			iters++
 			var candidate S
 			var candEnergy float64
@@ -246,6 +262,13 @@ func Run[S any](cfg Config[S]) (Result[S], error) {
 		}
 		res.Iterations += r.iterations
 		res.Evaluations += r.evaluations
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			// Cancelled mid-run: hand back the partial best alongside the
+			// context error so the caller can decide whether it is usable.
+			return res, err
+		}
 	}
 	return res, nil
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"greencloud/internal/cost"
 	"greencloud/internal/energy"
@@ -15,6 +17,12 @@ import (
 type ExactOptions struct {
 	// MaxNodes caps the branch-and-bound nodes (0 = solver default).
 	MaxNodes int
+	// Deadline, when nonzero, bounds the wall-clock time of the search; at
+	// the deadline the best incumbent found so far is returned (Solution.Gap
+	// reports how far its bound was still open).
+	Deadline time.Time
+	// Ctx, when non-nil, cancels the search cooperatively.
+	Ctx context.Context
 }
 
 // SolveExact builds the optimization problem of Fig. 1 as a MILP (binary
@@ -373,12 +381,15 @@ func SolveExact(cat *location.Catalog, candidateIDs []int, spec Spec, opts Exact
 		}
 	}
 
-	milpSol, err := prob.SolveWithOptions(milp.Options{MaxNodes: opts.MaxNodes})
+	milpSol, err := prob.SolveWithOptions(milp.Options{
+		MaxNodes: opts.MaxNodes,
+		Deadline: opts.Deadline,
+		Ctx:      opts.Ctx,
+	})
 	if err != nil {
-		if milpSol == nil {
-			return nil, fmt.Errorf("core: exact solve: %w", err)
-		}
-		// Node limit with an incumbent: fall through and use the incumbent.
+		// A budget stop with an incumbent in hand comes back as a nil error
+		// with Proven false; an error here means there is nothing usable.
+		return nil, fmt.Errorf("core: exact solve: %w", err)
 	}
 
 	// Re-price the selected siting with the evaluator so the output format

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,6 +44,11 @@ type SolveOptions struct {
 	// independent and merged deterministically); the switch exists so the
 	// determinism regression tests can verify exactly that.
 	Sequential bool
+	// Ctx, when non-nil, cancels the annealing search cooperatively.  A run
+	// cancelled mid-search returns the best solution found so far together
+	// with the context's error (or the error alone when nothing feasible
+	// was reached); an uncancelled run is bit-identical to one without Ctx.
+	Ctx context.Context
 }
 
 func (o SolveOptions) withDefaults(spec Spec) SolveOptions {
@@ -352,7 +359,18 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 	}
 	quantum := opts.CapacityQuantumKW
 
-	result, err := anneal.Run(anneal.Config[siting]{
+	// Per-chain evaluators are built up front so a constructor failure is an
+	// ordinary error return instead of a panic inside a chain goroutine.
+	chainEvals := make([]*Evaluator, opts.Chains)
+	for i := range chainEvals {
+		ev, err := NewEvaluator(cat, spec)
+		if err != nil {
+			return nil, err
+		}
+		chainEvals[i] = ev
+	}
+
+	result, runErr := anneal.Run(anneal.Config[siting]{
 		Initial: initial,
 		NewContext: func(chain int) any {
 			if chain < 0 {
@@ -360,12 +378,7 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 				// starts; it can share the single-threaded evaluator.
 				return shared
 			}
-			ev, err := NewEvaluator(cat, spec)
-			if err != nil {
-				// NewEvaluator only fails on inputs already validated above.
-				panic(err)
-			}
-			return ev
+			return chainEvals[chain]
 		},
 		NeighborMove: func(s siting, rng *rand.Rand) (siting, any) {
 			next, mv := proposeMove(s, rng, filtered, spec, minDCs, maxDCs, quantum)
@@ -380,18 +393,26 @@ func Solve(cat *location.Catalog, spec Spec, opts SolveOptions) (*Solution, erro
 		Chains:        opts.Chains,
 		Seed:          opts.Seed,
 		Sequential:    opts.Sequential,
+		Ctx:           opts.Ctx,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("core: anneal: %w", err)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		return nil, fmt.Errorf("core: anneal: %w", runErr)
 	}
 	if math.IsInf(result.BestEnergy, 1) {
+		if runErr != nil {
+			// Cancelled before anything feasible was found.
+			return nil, fmt.Errorf("core: anneal: %w", runErr)
+		}
 		return nil, ErrInfeasible
 	}
 	best, err := shared.Evaluate(result.Best.candidates)
 	if err != nil {
 		return nil, err
 	}
-	return best, nil
+	// On cancellation the best-so-far solution is returned together with the
+	// context's error so the caller can decide whether a partial search
+	// result is acceptable.
+	return best, runErr
 }
 
 // buildInitialSiting tries a few natural starting points — plus the caller's

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -73,28 +74,24 @@ func parallelFor(n int, fn func(i int)) {
 // evaluators were built with.
 type evaluatorPool struct {
 	pool       sync.Pool
+	cat        *location.Catalog
+	spec       core.Spec
 	capacityKW float64
 }
 
 func newEvaluatorPool(cat *location.Catalog, capacityKW float64, spec core.Spec) (*evaluatorPool, error) {
 	// Build the first evaluator eagerly so configuration errors surface
-	// here; the pool's New can then only fail on conditions already ruled
-	// out.  Per-site memoization is off: these probes price each location
-	// exactly once, so cache entries could never be hit.
+	// here.  The pool deliberately has no New hook — a constructor failure
+	// inside sync.Pool could only panic across goroutines — so price()
+	// constructs on a miss and returns the error like any other call path.
+	// Per-site memoization is off: these probes price each location exactly
+	// once, so cache entries could never be hit.
 	first, err := core.NewSingleSiteEvaluator(cat, capacityKW, spec)
 	if err != nil {
 		return nil, err
 	}
 	first.DisableCache()
-	p := &evaluatorPool{capacityKW: capacityKW}
-	p.pool.New = func() any {
-		ev, err := core.NewSingleSiteEvaluator(cat, capacityKW, spec)
-		if err != nil {
-			panic(err)
-		}
-		ev.DisableCache()
-		return ev
-	}
+	p := &evaluatorPool{cat: cat, spec: spec, capacityKW: capacityKW}
 	p.pool.Put(first)
 	return p, nil
 }
@@ -102,7 +99,15 @@ func newEvaluatorPool(cat *location.Catalog, capacityKW float64, spec core.Spec)
 // price returns the monthly cost of one datacenter of the pool's capacity at
 // the site.
 func (p *evaluatorPool) price(siteID int) (float64, error) {
-	ev := p.pool.Get().(*core.Evaluator)
+	ev, _ := p.pool.Get().(*core.Evaluator)
+	if ev == nil {
+		fresh, err := core.NewSingleSiteEvaluator(p.cat, p.capacityKW, p.spec)
+		if err != nil {
+			return 0, err
+		}
+		fresh.DisableCache()
+		ev = fresh
+	}
 	defer p.pool.Put(ev)
 	res, err := ev.EvaluateCost([]core.Candidate{{SiteID: siteID, CapacityKW: p.capacityKW}})
 	if err != nil {
@@ -176,6 +181,12 @@ type Config struct {
 	// every point solve from the built-in initial sitings only.  Either way
 	// the sweep is deterministic for a fixed Seed.
 	DisableWarmStart bool
+	// Ctx, when non-nil, cancels long experiment runs cooperatively: All
+	// stops between experiments, and the sweeps stop between points and
+	// inside each point's annealing search.  Results computed before the
+	// cancellation are returned; a Ctx that never fires leaves every result
+	// bit-identical to a run without one.
+	Ctx context.Context
 }
 
 // Suite owns the catalog and caches intermediate results shared between
@@ -550,15 +561,23 @@ func (s *Suite) solveSweeps(storage energy.StorageMode, mixes []core.SourceMix) 
 		out[i] = make([]sweepPoint, len(levels))
 		todo = append(todo, i)
 	}
+	ctx := s.cfg.Ctx
 	parallelFor(len(todo), func(k int) {
 		mixIdx := todo[k]
 		var warm []core.Candidate
 		for l, green := range levels {
+			if ctx != nil && ctx.Err() != nil {
+				// Cancelled: mark the remaining points missing; the error is
+				// reported once, after the pool drains.
+				out[mixIdx][l] = sweepPoint{greenPct: green * 100, monthlyUSD: -1, capacityKW: -1}
+				continue
+			}
 			spec := s.baseSpec()
 			spec.MinGreenFraction = green
 			spec.Storage = storage
 			spec.Sources = mixes[mixIdx]
 			opts := baseOpts
+			opts.Ctx = ctx
 			if !s.cfg.DisableWarmStart {
 				opts.InitialCandidates = warm
 			}
@@ -583,6 +602,13 @@ func (s *Suite) solveSweeps(storage energy.StorageMode, mixes []core.SourceMix) 
 			}
 		}
 	})
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// Don't cache partial sweeps: a later uncancelled run must be able
+			// to recompute the missing points.
+			return nil, fmt.Errorf("experiments: sweep cancelled: %w", err)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.sweeps[storage]; !ok {
@@ -979,6 +1005,12 @@ func (s *Suite) All() ([]*Table, error) {
 	}
 	out := make([]*Table, 0, len(gens))
 	for _, g := range gens {
+		if s.cfg.Ctx != nil {
+			if err := s.cfg.Ctx.Err(); err != nil {
+				// Cancelled between experiments: hand back what finished.
+				return out, fmt.Errorf("experiments: cancelled before %s: %w", g.name, err)
+			}
+		}
 		tbl, err := g.fn()
 		if err != nil {
 			return out, fmt.Errorf("experiments: %s: %w", g.name, err)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -147,6 +149,27 @@ func TestSweepWarmStartFlag(t *testing.T) {
 			t.Errorf("point %d: warm-started sweep is not deterministic (%v vs %v)",
 				i, warm[i].monthlyUSD, warmAgain[i].monthlyUSD)
 		}
+	}
+}
+
+func TestCancelledSuiteStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := NewSuite(Config{Budget: Quick, Seed: 1, Ctx: ctx})
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	// The sweeps refuse to cache or return partial series under cancellation.
+	if _, err := s.solveSweep(energy.NetMetering, core.SolarAndWind); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep: err = %v, want a context.Canceled chain", err)
+	}
+	// All stops before the first experiment and reports which one it skipped.
+	tables, err := s.All()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled All: err = %v, want a context.Canceled chain", err)
+	}
+	if len(tables) != 0 {
+		t.Errorf("cancelled All returned %d tables, want 0", len(tables))
 	}
 }
 

@@ -1,0 +1,102 @@
+package lp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic fault injection for the recovery-ladder tests.
+//
+// A FaultPoint names a place inside the solver where a failure can be forced:
+// the LU factorization can be declared singular, a freshly pushed eta term
+// can be corrupted, an FTRAN column can be poisoned with NaN, the
+// deadline/cancellation check can be tripped at an exact pivot count, and the
+// degenerate-stall detector can be forced to fire.  Tests arm a point with
+// ArmFault (optionally skipping the first hits so the fault lands mid-solve)
+// and the solver consumes the armed budget as it passes the point, so every
+// rung of the recovery ladder is driven by a real injected fault instead of a
+// hand-built pathological LP.
+//
+// When nothing is armed the solver pays one atomic load per guarded site and
+// takes none of the fault branches, so production behavior is untouched.
+type FaultPoint string
+
+// Named failure points.
+const (
+	// FaultSingularLU makes the next basis factorization report a singular
+	// matrix (the pivot search finds no eligible pivot at the first step).
+	FaultSingularLU FaultPoint = "lu-singular"
+	// FaultCorruptEta zeroes the pivot entry of the next eta vector pushed,
+	// so a later FTRAN through it produces Inf/NaN.
+	FaultCorruptEta FaultPoint = "eta-corrupt"
+	// FaultPoisonPivot writes NaN into the next FTRAN column.
+	FaultPoisonPivot FaultPoint = "pivot-nan"
+	// FaultExpireDeadline trips the deadline check at the pivot it fires on,
+	// regardless of the wall clock.
+	FaultExpireDeadline FaultPoint = "deadline-at-pivot"
+	// FaultForceStall makes the degenerate-stall detector see a full stall at
+	// the pivot it fires on, forcing the switch to Bland's rule.
+	FaultForceStall FaultPoint = "pricing-stall"
+)
+
+type faultArm struct {
+	skip      int // hits to pass through before firing
+	remaining int // fires left
+}
+
+var (
+	faultMu   sync.Mutex
+	faultArms map[FaultPoint]*faultArm
+	// faultsOn is the fast-path gate: hot loops load it once and skip the
+	// mutex entirely while no fault is armed.
+	faultsOn atomic.Bool
+)
+
+// ArmFault schedules the named point to fire count times after letting its
+// first skip hits pass through untouched.  Arming replaces any previous arm
+// of the same point.  Tests must pair every ArmFault with DisarmFaults.
+func ArmFault(p FaultPoint, skip, count int) {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	if faultArms == nil {
+		faultArms = make(map[FaultPoint]*faultArm)
+	}
+	if count <= 0 {
+		delete(faultArms, p)
+	} else {
+		faultArms[p] = &faultArm{skip: skip, remaining: count}
+	}
+	faultsOn.Store(len(faultArms) > 0)
+}
+
+// DisarmFaults clears every armed fault point.
+func DisarmFaults() {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	faultArms = nil
+	faultsOn.Store(false)
+}
+
+// faultFires reports whether the named point fires at this hit, consuming
+// one unit of the armed skip/count budget.
+func faultFires(p FaultPoint) bool {
+	if !faultsOn.Load() {
+		return false
+	}
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	a := faultArms[p]
+	if a == nil {
+		return false
+	}
+	if a.skip > 0 {
+		a.skip--
+		return false
+	}
+	a.remaining--
+	if a.remaining <= 0 {
+		delete(faultArms, p)
+		faultsOn.Store(len(faultArms) > 0)
+	}
+	return true
+}

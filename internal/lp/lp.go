@@ -55,9 +55,11 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sense is the optimization direction.
@@ -103,8 +105,10 @@ const (
 	Unbounded
 
 	// internal-only outcomes; never stored in a Solution.
-	statusNumeric // iteration limit / factorization failure
-	statusRetry   // warm start unusable: fall back to a cold solve
+	statusNumeric   // iteration limit / factorization failure
+	statusRetry     // warm start unusable: fall back to a cold solve
+	statusDeadline  // SolveOptions.Deadline expired mid-solve
+	statusCancelled // SolveOptions.Ctx was cancelled mid-solve
 )
 
 // String returns a human-readable status.
@@ -274,12 +278,69 @@ func (p *Problem) NumVariables() int { return len(p.vars) }
 // NumConstraints returns the number of constraints added so far.
 func (p *Problem) NumConstraints() int { return len(p.cons) }
 
+// Stats counts the work and the recovery actions of one solve (the warm
+// attempt and any cold fallback combined), so callers can observe not just
+// whether a solve succeeded but what the solver had to do to get there.
+type Stats struct {
+	// Pivots is the number of basis exchanges across all phases.
+	Pivots int
+	// BoundFlips counts iterations resolved by flipping a nonbasic column
+	// between its bounds with no basis change.
+	BoundFlips int
+	// Refactorizations counts from-scratch LU factorizations of the basis.
+	Refactorizations int
+	// BlandSwitches counts pricing switches to Bland's rule, whether by the
+	// degenerate-stall detector or the iteration-count backstop.
+	BlandSwitches int
+	// ColdFallbacks counts warm starts abandoned for a cold two-phase solve.
+	ColdFallbacks int
+	// Repairs counts singular-basis repairs: a basic column ejected for the
+	// slack (or artificial) of an unpivotable row, followed by a
+	// refactorization retry.
+	Repairs int
+	// NaNGuards counts FTRAN/BTRAN outputs caught carrying NaN/Inf and
+	// answered with a refactorization instead of a poisoned pivot.
+	NaNGuards int
+}
+
+// SolveOptions bounds a solve.  The zero value imposes no budget and is
+// exactly Solve/SolveFrom.
+type SolveOptions struct {
+	// Deadline, when nonzero, is the wall-clock instant after which the
+	// solve stops and returns ErrDeadline.  The check runs between pivots, so
+	// a solve overruns by at most one iteration's work.
+	Deadline time.Time
+	// MaxIters, when positive, replaces the default per-phase iteration cap
+	// (30·(rows+cols), floor 2000).  Exceeding it returns ErrNumeric.
+	MaxIters int
+	// Ctx, when non-nil, is polled between pivots; cancellation stops the
+	// solve with ErrCancelled.
+	Ctx context.Context
+}
+
+// solveControl is the internal form of SolveOptions threaded into the
+// simplex loops.
+type solveControl struct {
+	deadline time.Time
+	ctx      context.Context
+	maxIters int
+}
+
+// active reports whether any budget is set, so unbudgeted solves skip the
+// per-iteration checks entirely and stay bit-identical to the pre-options
+// solver.
+func (c *solveControl) active() bool {
+	return c != nil && (c.ctx != nil || !c.deadline.IsZero() || c.maxIters > 0)
+}
+
 // Solution is the result of solving a problem.
 type Solution struct {
 	Status    Status
 	Objective float64
-	values    []float64
-	basis     *Basis
+	// Stats records the work and recovery actions of the solve.
+	Stats  Stats
+	values []float64
+	basis  *Basis
 }
 
 // Value returns the optimal value of a variable.
@@ -307,11 +368,15 @@ func (s *Solution) Basis() *Basis {
 	return s.basis
 }
 
-// Errors returned by Solve.
+// Errors returned by Solve.  ErrDeadline and ErrCancelled wrap the matching
+// context errors, so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) also hold.
 var (
 	ErrInfeasible = errors.New("lp: problem is infeasible")
 	ErrUnbounded  = errors.New("lp: problem is unbounded")
 	ErrNumeric    = errors.New("lp: numerical failure (iteration limit reached)")
+	ErrDeadline   = fmt.Errorf("lp: solve deadline exceeded: %w", context.DeadlineExceeded)
+	ErrCancelled  = fmt.Errorf("lp: solve cancelled: %w", context.Canceled)
 )
 
 const (
@@ -323,7 +388,12 @@ const (
 // Solution has Status Optimal; infeasible and unbounded problems return a
 // Solution with the corresponding status together with ErrInfeasible or
 // ErrUnbounded.
-func (p *Problem) Solve() (*Solution, error) { return p.SolveFrom(nil) }
+func (p *Problem) Solve() (*Solution, error) { return p.SolveFromWithOptions(nil, SolveOptions{}) }
+
+// SolveWithOptions is Solve under the given budgets.
+func (p *Problem) SolveWithOptions(opts SolveOptions) (*Solution, error) {
+	return p.SolveFromWithOptions(nil, opts)
+}
 
 // SolveFrom is Solve warm-started from a previous solve's Basis.  The basis
 // is mapped onto the current standard form by model-level identity; if it no
@@ -332,16 +402,30 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveFrom(nil) }
 // back to a cold solve, so a stale basis can cost time but never
 // correctness.  A nil basis is exactly Solve.
 func (p *Problem) SolveFrom(warm *Basis) (*Solution, error) {
+	return p.SolveFromWithOptions(warm, SolveOptions{})
+}
+
+// SolveFromWithOptions is SolveFrom under the given budgets.  Any failure of
+// the warm attempt short of a budget stop falls back to one cold solve (a
+// deadline or cancellation is final: there is no budget left to retry on);
+// recovery actions along the way are reported in the Solution's Stats.
+func (p *Problem) SolveFromWithOptions(warm *Basis, opts SolveOptions) (*Solution, error) {
 	std, err := p.standardize()
 	if err != nil {
 		return nil, err
 	}
-	status, values, basis := std.solve(warm)
+	var stats Stats
+	ctl := &solveControl{deadline: opts.Deadline, ctx: opts.Ctx, maxIters: opts.MaxIters}
+	status, values, basis := std.solve(warm, ctl, &stats)
 	switch status {
 	case Infeasible:
-		return &Solution{Status: Infeasible}, ErrInfeasible
+		return &Solution{Status: Infeasible, Stats: stats}, ErrInfeasible
 	case Unbounded:
-		return &Solution{Status: Unbounded}, ErrUnbounded
+		return &Solution{Status: Unbounded, Stats: stats}, ErrUnbounded
+	case statusDeadline:
+		return nil, ErrDeadline
+	case statusCancelled:
+		return nil, ErrCancelled
 	case Optimal:
 		orig := std.recover(values)
 		// Recompute the objective from the original variables so that
@@ -350,7 +434,7 @@ func (p *Problem) SolveFrom(warm *Basis) (*Solution, error) {
 		for j, v := range p.vars {
 			obj += v.cost * orig[j]
 		}
-		return &Solution{Status: Optimal, Objective: obj, values: orig, basis: basis}, nil
+		return &Solution{Status: Optimal, Objective: obj, Stats: stats, values: orig, basis: basis}, nil
 	default:
 		return nil, ErrNumeric
 	}

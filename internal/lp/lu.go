@@ -35,6 +35,11 @@ type luFactor struct {
 	pinv []int // original row -> pivot step (-1 while unpivoted)
 	q    []int // pivot step -> basis position
 
+	// failPos is the basis position whose column found no eligible pivot when
+	// the last factorize returned errSingularBasis (-1 otherwise).  The
+	// singular-basis repair ejects that column.
+	failPos int
+
 	// scratch, reused across factorizations.
 	x        []float64
 	pattern  []int
@@ -79,6 +84,8 @@ func growInt32s(s []int32, n int) []int32 {
 func (f *luFactor) factorize(st *standard, basis []int) error {
 	m := len(basis)
 	f.m = m
+	f.failPos = -1
+	forceSingular := faultsOn.Load() && faultFires(FaultSingularLU)
 	f.lColPtr = append(f.lColPtr[:0], 0)
 	f.lRows = f.lRows[:0]
 	f.lVals = f.lVals[:0]
@@ -205,11 +212,15 @@ func (f *luFactor) factorize(st *standard, basis []int) error {
 				pr = r
 			}
 		}
+		if forceSingular && k == 0 {
+			pr, best = -1, 0
+		}
 		if pr < 0 || best <= luPivotTiny {
 			// Clear scratch before bailing so the next factorize starts clean.
 			for _, r := range f.pattern {
 				f.x[r] = 0
 			}
+			f.failPos = pos
 			return errSingularBasis
 		}
 		pv := f.x[pr]

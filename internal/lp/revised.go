@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // Revised-simplex tuning.
 const (
@@ -21,6 +24,17 @@ const (
 	// carry before the result is rejected (phase-1 objective check, and the
 	// warm-start safety net).
 	artValueTol = 1e-6
+	// stallAfter is the run of consecutive zero-step (degenerate) pivots
+	// after which pricing switches to Bland's rule for the rest of the solve
+	// — the anti-cycling rung of the recovery ladder, fired long before the
+	// blind iteration-count switch would kick in.
+	stallAfter = 512
+	// maxBasisRepairs caps how many singular-basis repairs (ejecting the
+	// offending basic column to a slack) one refactorization may attempt.
+	maxBasisRepairs = 4
+	// maxNaNRetries caps how many non-finite FTRAN/BTRAN results a single
+	// solve may recover from by refactorizing before giving up.
+	maxNaNRetries = 3
 )
 
 // etaFile is the product-form update sequence: after pivot k on basis
@@ -48,8 +62,12 @@ func (e *etaFile) count() int { return len(e.pos) }
 
 // push records the eta of a pivot on position r with FTRAN column w.
 func (e *etaFile) push(r int, w []float64) {
+	pv := w[r]
+	if faultsOn.Load() && faultFires(FaultCorruptEta) {
+		pv = 0 // a later FTRAN/BTRAN through this eta divides by zero
+	}
 	e.pos = append(e.pos, r)
-	e.piv = append(e.piv, w[r])
+	e.piv = append(e.piv, pv)
 	for i, v := range w {
 		if v != 0 && i != r {
 			e.idx = append(e.idx, i)
@@ -111,15 +129,27 @@ type solver struct {
 
 	sinceRefactor int
 
+	// Resilience state.
+	ctl         *solveControl // budgets (nil-safe via active())
+	stats       *Stats        // never nil; counters for the recovery ladder
+	stallRun    int           // consecutive zero-step pivots
+	nanRetries  int           // non-finite recoveries spent
+	blandForced bool          // stall detector latched Bland's rule on
+
 	// scratch, len m.
 	w, y, rowScratch []float64
 }
 
-func newSolver(std *standard) *solver {
+func newSolver(std *standard, ctl *solveControl, stats *Stats) *solver {
+	if stats == nil {
+		stats = &Stats{}
+	}
 	m := std.m
 	return &solver{
 		std:        std,
 		m:          m,
+		ctl:        ctl,
+		stats:      stats,
 		basis:      make([]int, m),
 		basic:      make([]bool, std.nCols),
 		atUpper:    make([]bool, std.nCols),
@@ -167,6 +197,9 @@ func (s *solver) ftranCol(j int) []float64 {
 		x[r] = vals[k]
 	}
 	s.ftranVec(x, s.w)
+	if faultsOn.Load() && faultFires(FaultPoisonPivot) {
+		s.w[0] = math.NaN()
+	}
 	return s.w
 }
 
@@ -207,6 +240,7 @@ func (s *solver) refactorize() error {
 	if err := s.lu.factorize(s.std, s.basis); err != nil {
 		return err
 	}
+	s.stats.Refactorizations++
 	s.eta.reset()
 	s.sinceRefactor = 0
 	copy(s.rowScratch, s.std.b)
@@ -322,6 +356,7 @@ func (s *solver) exchange(q, p int, delta float64, w []float64, leaveAtUpper boo
 	s.atUpper[q] = false
 	s.basis[p] = q
 	s.sinceRefactor++
+	s.stats.Pivots++
 }
 
 // boundFlip moves nonbasic column q from one of its bounds to the other
@@ -340,6 +375,8 @@ func (s *solver) boundFlip(q int, w []float64) {
 		s.xB[i] = clampBound(s.xB[i]-delta*w[i], s.std.upper[s.basis[i]])
 	}
 	s.atUpper[q] = !s.atUpper[q]
+	s.stats.BoundFlips++
+	s.stallRun = 0 // a bound flip strictly improves the objective
 }
 
 // updateReducedAfterPivot maintains the reduced-cost row across the pivot
@@ -375,6 +412,121 @@ func (s *solver) objective() float64 {
 	return obj
 }
 
+// finiteVec reports whether every entry of x is finite (no NaN or ±Inf).
+func finiteVec(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// interrupted polls the solve budgets: injected deadline faults first, then
+// the context, then the wall clock (sampled every 16th iteration — a
+// time.Now per pivot would dominate small solves).  Returns 0 to continue.
+func (s *solver) interrupted(iter int) Status {
+	if faultsOn.Load() && faultFires(FaultExpireDeadline) {
+		return statusDeadline
+	}
+	ctl := s.ctl
+	if ctl == nil {
+		return 0
+	}
+	if ctl.ctx != nil {
+		select {
+		case <-ctl.ctx.Done():
+			return statusCancelled
+		default:
+		}
+	}
+	if !ctl.deadline.IsZero() && iter&15 == 0 && !time.Now().Before(ctl.deadline) {
+		return statusDeadline
+	}
+	return 0
+}
+
+// guardNaN recovers from a non-finite FTRAN/BTRAN result: the usual culprit
+// is drift (or corruption) in the product-form eta file, which a fresh
+// factorization discards.  A small retry budget keeps a basis that is
+// genuinely broken from looping forever.  Returns 0 when the solve may
+// continue on the rebuilt factors.
+func (s *solver) guardNaN() Status {
+	s.stats.NaNGuards++
+	s.nanRetries++
+	if s.nanRetries > maxNaNRetries {
+		return statusNumeric
+	}
+	if _, err := s.refactorizeRepair(); err != nil {
+		return statusNumeric
+	}
+	s.rebuildReduced()
+	return 0
+}
+
+// refactorizeRepair is refactorize with the singular-basis repair rung: when
+// the factorization reports a singular basis, the offending basic column is
+// ejected in favor of an unused slack (or artificial) and the factorization
+// retried, up to maxBasisRepairs times.  Reports whether any repair was
+// applied; err is the last factorization error when all repairs failed.
+func (s *solver) refactorizeRepair() (repaired bool, err error) {
+	for attempt := 0; ; attempt++ {
+		err = s.refactorize()
+		if err == nil {
+			return repaired, nil
+		}
+		if attempt >= maxBasisRepairs || !s.repairSingular() {
+			return repaired, err
+		}
+		repaired = true
+		s.stats.Repairs++
+	}
+}
+
+// repairSingular ejects the basic column the failed factorization choked on
+// (luFactor.failPos) and seats the slack — or, for an equality row, the
+// artificial — of a row the factorization never pivoted, the unit column
+// guaranteed to restore that row's coverage.  Returns false when no such
+// replacement exists (then the basis is beyond local repair).
+func (s *solver) repairSingular() bool {
+	pos := s.lu.failPos
+	if pos < 0 {
+		return false
+	}
+	for r := 0; r < s.m; r++ {
+		if s.lu.pinv[r] >= 0 {
+			continue // row already covered by a pivot
+		}
+		j := s.std.slackOf[r]
+		if j < 0 || s.basic[j] {
+			j = s.std.artOf[r]
+		}
+		if j < 0 || s.basic[j] {
+			continue
+		}
+		old := s.basis[pos]
+		s.basic[old] = false
+		s.atUpper[old] = false // ejected to its lower bound
+		s.basic[j] = true
+		s.atUpper[j] = false
+		s.basis[pos] = j
+		return true
+	}
+	return false
+}
+
+// primalFeasibleNow reports whether every basic value currently respects its
+// bounds (within feasTol) — used to verify that a mid-primal basis repair
+// did not silently break the feasibility invariant primal pivots rely on.
+func (s *solver) primalFeasibleNow() bool {
+	for i, v := range s.xB {
+		if v < -feasTol || v > s.std.upper[s.basis[i]]+feasTol {
+			return false
+		}
+	}
+	return true
+}
+
 // primal runs primal simplex iterations from the current (primal-feasible)
 // basis until optimality, unboundedness or the iteration limit.  Artificial
 // columns are never priced: they can leave the basis but never re-enter.
@@ -384,11 +536,40 @@ func (s *solver) primal() Status {
 	if maxIter < 2000 {
 		maxIter = 2000
 	}
+	if s.ctl != nil && s.ctl.maxIters > 0 {
+		maxIter = s.ctl.maxIters
+	}
 	blandAfter := 4 * (m + n)
+	checkLimits := s.ctl.active() || faultsOn.Load()
+	wasBland := s.blandForced
 
 	s.rebuildReduced()
 	for iter := 0; iter < maxIter; iter++ {
-		useBland := iter > blandAfter
+		if checkLimits {
+			if st := s.interrupted(iter); st != 0 {
+				return st
+			}
+			if faultsOn.Load() && faultFires(FaultForceStall) {
+				s.stallRun = stallAfter
+			}
+		}
+		if s.stallRun >= stallAfter && !s.blandForced {
+			// Anti-cycling rung: a long run of degenerate pivots switches
+			// pricing to Bland's rule until the objective moves again.
+			// Refactorize first — Bland's exact ratio test can pivot on
+			// phantom eta-file entries that the Harris test sidesteps, so it
+			// must start from fresh factors.
+			s.blandForced = true
+			if _, err := s.refactorizeRepair(); err != nil {
+				return statusNumeric
+			}
+			s.rebuildReduced()
+		}
+		useBland := s.blandForced || iter > blandAfter
+		if useBland && !wasBland {
+			wasBland = true
+			s.stats.BlandSwitches++
+		}
 		if s.stale >= refreshEvery || (useBland && s.stale > 0) {
 			s.rebuildReduced()
 		}
@@ -400,10 +581,25 @@ func (s *solver) primal() Status {
 			q = s.pickEntering(useBland)
 		}
 		if q < 0 {
+			// NaN reduced costs price every column as ineligible, which would
+			// fake optimality here; a non-finite row means the eta file went
+			// bad, so rebuild the factors and re-price instead.
+			if !finiteVec(s.reduced) {
+				if st := s.guardNaN(); st != 0 {
+					return st
+				}
+				continue
+			}
 			return Optimal
 		}
 
 		w := s.ftranCol(q)
+		if !finiteVec(w) {
+			if st := s.guardNaN(); st != 0 {
+				return st
+			}
+			continue
+		}
 		// Exact reduced cost of the nominee, free from the FTRAN column:
 		// d_q = c_q − c_B·w.  A nominee the maintained row promoted but the
 		// exact value rejects is neutralized and re-picked — drift can cost
@@ -544,8 +740,24 @@ func (s *solver) primal() Status {
 		}
 
 		s.exchange(q, leaving, sigma*step, w, leaveAtUpper)
+		if step <= epsilon {
+			s.stallRun++ // degenerate pivot: no objective progress
+		} else {
+			// Progress made: drop back to Dantzig/Harris pricing.  Bland is
+			// an anti-cycling device, not a pricing strategy — staying on it
+			// past the stall trades convergence speed for nothing.
+			s.stallRun = 0
+			s.blandForced = false
+		}
 		if s.sinceRefactor >= refactorEvery {
-			if err := s.refactorize(); err != nil {
+			repaired, err := s.refactorizeRepair()
+			if err != nil {
+				return statusNumeric
+			}
+			if repaired && !s.primalFeasibleNow() {
+				// The repair changed the basis under us and the recomputed
+				// solution left the feasible box; primal pivots would be
+				// meaningless from here.
 				return statusNumeric
 			}
 			s.rebuildReduced()
@@ -573,10 +785,19 @@ func (s *solver) dual() Status {
 	if maxIter < 2000 {
 		maxIter = 2000
 	}
+	if s.ctl != nil && s.ctl.maxIters > 0 {
+		maxIter = s.ctl.maxIters
+	}
+	checkLimits := s.ctl.active() || faultsOn.Load()
 	rho := make([]float64, m)
 
 	s.rebuildReduced()
 	for iter := 0; iter < maxIter; iter++ {
+		if checkLimits {
+			if st := s.interrupted(iter); st != 0 {
+				return st
+			}
+		}
 		// Leaving: largest bound violation among the basic values.
 		p := -1
 		worst := feasTol
@@ -606,6 +827,12 @@ func (s *solver) dual() Status {
 		}
 
 		s.btranUnit(p, rho)
+		if !finiteVec(rho) {
+			if st := s.guardNaN(); st != 0 {
+				return st
+			}
+			continue
+		}
 
 		// Entering: dual ratio test over the eligible columns of row p.  A
 		// column at its lower bound can only increase (needs r·α < 0 to move
@@ -648,7 +875,10 @@ func (s *solver) dual() Status {
 			// push its value back inside the bounds.  But only trust fresh
 			// factors: with etas stacked up, refactorize and re-verify first.
 			if s.eta.count() > 0 {
-				if err := s.refactorize(); err != nil {
+				if repaired, err := s.refactorizeRepair(); err != nil || repaired {
+					// A repair swaps a column mid-flight, which can break the
+					// dual feasibility this loop relies on; let the caller
+					// fall back to a cold solve.
 					return statusNumeric
 				}
 				s.rebuildReduced()
@@ -658,6 +888,12 @@ func (s *solver) dual() Status {
 		}
 
 		w := s.ftranCol(q)
+		if !finiteVec(w) {
+			if st := s.guardNaN(); st != 0 {
+				return st
+			}
+			continue
+		}
 		delta := 0.0
 		ok := math.Abs(w[p]) > pivotEpsilon
 		if ok {
@@ -675,7 +911,7 @@ func (s *solver) dual() Status {
 			if s.sinceRefactor == 0 {
 				return statusNumeric
 			}
-			if err := s.refactorize(); err != nil {
+			if repaired, err := s.refactorizeRepair(); err != nil || repaired {
 				return statusNumeric
 			}
 			s.rebuildReduced()
@@ -684,7 +920,7 @@ func (s *solver) dual() Status {
 
 		s.exchange(q, p, delta, w, leaveAtUpper)
 		if s.sinceRefactor >= refactorEvery {
-			if err := s.refactorize(); err != nil {
+			if repaired, err := s.refactorizeRepair(); err != nil || repaired {
 				return statusNumeric
 			}
 		}
@@ -776,9 +1012,14 @@ func (s *solver) artificialsClean() bool {
 }
 
 // solve runs the revised simplex on this standard form, optionally
-// warm-started, returning the status, the standard-form values and (when
-// Optimal) the captured basis.
-func (s *standard) solve(warm *Basis) (Status, []float64, *Basis) {
+// warm-started and under the given budgets, returning the status, the
+// standard-form values and (when Optimal) the captured basis.  A failed warm
+// attempt falls back to one cold solve unless the failure was a deadline or
+// cancellation — a budget stop is final, there is nothing left to retry on.
+func (s *standard) solve(warm *Basis, ctl *solveControl, stats *Stats) (Status, []float64, *Basis) {
+	if stats == nil {
+		stats = &Stats{}
+	}
 	if s.m == 0 {
 		// No rows: every column sits at whichever of its bounds its cost
 		// prefers; a negative cost with no finite upper bound is an
@@ -797,7 +1038,7 @@ func (s *standard) solve(warm *Basis) (Status, []float64, *Basis) {
 
 	if warm != nil {
 		if basisArr, atUp, ok := s.installBasis(warm); ok {
-			sv := newSolver(s)
+			sv := newSolver(s, ctl, stats)
 			if st, vals := sv.solveWarm(basisArr, atUp); st != statusRetry {
 				if st == Optimal {
 					return st, vals, s.captureBasis(sv.basis, sv.atUpper)
@@ -805,9 +1046,10 @@ func (s *standard) solve(warm *Basis) (Status, []float64, *Basis) {
 				return st, vals, nil
 			}
 		}
+		stats.ColdFallbacks++
 	}
 
-	sv := newSolver(s)
+	sv := newSolver(s, ctl, stats)
 	st, vals := sv.solveCold()
 	if st == Optimal {
 		return st, vals, s.captureBasis(sv.basis, sv.atUpper)
@@ -824,7 +1066,11 @@ func (sv *solver) solveWarm(basisArr []int, atUpper []bool) (Status, []float64) 
 	sv.setBasis(basisArr)
 	copy(sv.atUpper, atUpper)
 	sv.cost = sv.std.c
-	if err := sv.refactorize(); err != nil {
+	// A singular warm basis is repaired in place (ejecting the column the
+	// factorization choked on for an unused slack) rather than thrown away:
+	// the repaired basis is usually a few dual pivots from optimal, while a
+	// cold solve starts from scratch.
+	if _, err := sv.refactorizeRepair(); err != nil {
 		return statusRetry, nil
 	}
 
@@ -852,6 +1098,8 @@ func (sv *solver) solveWarm(basisArr []int, atUpper []bool) (Status, []float64) 
 			sv.clampXB()
 		case Infeasible:
 			return Infeasible, nil
+		case statusDeadline, statusCancelled:
+			return st, nil // budget stops are final, never retried cold
 		default:
 			return statusRetry, nil
 		}
@@ -878,6 +1126,8 @@ func (sv *solver) solveWarm(basisArr []int, atUpper []bool) (Status, []float64) 
 			return statusRetry, nil
 		}
 		return Unbounded, nil
+	case statusDeadline, statusCancelled:
+		return st, nil // budget stops are final, never retried cold
 	default:
 		return statusRetry, nil
 	}
@@ -920,6 +1170,8 @@ func (sv *solver) solveCold() (Status, []float64) {
 			// Factorization failure or iteration limit: report honestly as
 			// a numerical failure, never as a (possibly wrong) infeasible.
 			return statusNumeric, nil
+		case statusDeadline, statusCancelled:
+			return s, nil
 		default:
 			// Phase 1 is bounded below by zero; Unbounded here means the
 			// pricing went numerically sideways.
@@ -939,6 +1191,8 @@ func (sv *solver) solveCold() (Status, []float64) {
 		return Optimal, sv.values()
 	case Unbounded:
 		return Unbounded, nil
+	case statusDeadline, statusCancelled:
+		return s, nil
 	default:
 		// Factorization failure or iteration limit: report honestly as a
 		// numerical failure.  Mapping it to Infeasible would let callers

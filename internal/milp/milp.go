@@ -10,10 +10,12 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"greencloud/internal/lp"
 )
@@ -119,6 +121,14 @@ type Solution struct {
 	values    []float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Proven is true when the search closed: the solution is optimal.  A
+	// solve stopped by a node, deadline or cancellation budget returns its
+	// best incumbent with Proven false and the residual Gap instead.
+	Proven bool
+	// Gap is the relative gap |incumbent − bound| / max(1, |incumbent|)
+	// between the incumbent and the best open-node relaxation bound at the
+	// moment the search stopped (0 when Proven).
+	Gap float64
 }
 
 // Value returns the value of a variable in the best solution found.
@@ -129,11 +139,16 @@ func (s *Solution) Value(v lp.Var) float64 {
 	return s.values[v]
 }
 
-// Errors returned by Solve.
+// Errors returned by Solve.  The budget errors (ErrNodeLimit, ErrDeadline,
+// ErrCancelled) are only returned when the budget ran out before ANY feasible
+// integer solution was found; with an incumbent in hand the solve returns it
+// with a nil error, Proven false and the residual Gap instead.
 var (
 	ErrInfeasible = errors.New("milp: problem is infeasible")
 	ErrUnbounded  = errors.New("milp: relaxation is unbounded")
-	ErrNodeLimit  = errors.New("milp: node limit reached without proving optimality")
+	ErrNodeLimit  = errors.New("milp: node limit reached without finding a feasible solution")
+	ErrDeadline   = fmt.Errorf("milp: deadline exceeded before finding a feasible solution: %w", context.DeadlineExceeded)
+	ErrCancelled  = fmt.Errorf("milp: solve cancelled: %w", context.Canceled)
 )
 
 // Options tunes the branch-and-bound search.
@@ -145,6 +160,13 @@ type Options struct {
 	IntegralityTol float64
 	// Gap is the relative optimality gap at which the search stops early.
 	Gap float64
+	// Deadline, when nonzero, bounds the wall-clock time of the search and
+	// of every node relaxation.  At the deadline the best incumbent is
+	// returned with its bound gap.
+	Deadline time.Time
+	// Ctx, when non-nil, cancels the search cooperatively between nodes and
+	// between simplex iterations inside a node.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -180,13 +202,14 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveWithOptions(Options
 // SolveWithOptions runs branch and bound.
 func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	lpOpts := lp.SolveOptions{Deadline: opts.Deadline, Ctx: opts.Ctx}
 
 	if len(p.integers) == 0 {
-		sol, err := p.solveRelaxation(nil, nil)
+		sol, err := p.solveRelaxation(nil, nil, lpOpts)
 		if err != nil {
 			return convertLPFailure(sol, err)
 		}
-		return &Solution{Status: lp.Optimal, Objective: sol.Objective, values: sol.Values(), Nodes: 1}, nil
+		return &Solution{Status: lp.Optimal, Objective: sol.Objective, values: sol.Values(), Nodes: 1, Proven: true}, nil
 	}
 
 	better := func(a, b float64) bool {
@@ -208,12 +231,11 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	queue = append(queue, node{})
 
 	for len(queue) > 0 {
-		if nodesDone >= opts.MaxNodes {
+		if stopErr := budgetStop(opts, nodesDone); stopErr != nil {
 			if best != nil {
-				best.Nodes = nodesDone
-				return best, ErrNodeLimit
+				return finishPartial(best, nodesDone, queue, incumbent, better), nil
 			}
-			return nil, ErrNodeLimit
+			return nil, stopErr
 		}
 		// Best-first: pick the node with the most promising parent bound.
 		sort.Slice(queue, func(i, j int) bool {
@@ -223,7 +245,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 		queue = queue[1:]
 		nodesDone++
 
-		relax, err := p.solveRelaxation(current.bounds, current.basis)
+		relax, err := p.solveRelaxation(current.bounds, current.basis, lpOpts)
 		if err != nil {
 			if errors.Is(err, lp.ErrInfeasible) {
 				continue // prune
@@ -236,6 +258,19 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 					return nil, ErrUnbounded
 				}
 				continue
+			}
+			if errors.Is(err, lp.ErrDeadline) || errors.Is(err, lp.ErrCancelled) {
+				// The budget expired inside a node relaxation.  The current
+				// node goes back on the queue so its bound still counts
+				// toward the reported gap.
+				if best != nil {
+					queue = append(queue, current)
+					return finishPartial(best, nodesDone, queue, incumbent, better), nil
+				}
+				if errors.Is(err, lp.ErrDeadline) {
+					return nil, ErrDeadline
+				}
+				return nil, ErrCancelled
 			}
 			return nil, err
 		}
@@ -294,7 +329,46 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 		return nil, ErrInfeasible
 	}
 	best.Nodes = nodesDone
+	best.Proven = true
 	return best, nil
+}
+
+// budgetStop reports the applicable budget error when the search must stop
+// before exploring another node, or nil to continue.
+func budgetStop(opts Options, nodesDone int) error {
+	if nodesDone >= opts.MaxNodes {
+		return ErrNodeLimit
+	}
+	if opts.Ctx != nil {
+		select {
+		case <-opts.Ctx.Done():
+			if errors.Is(opts.Ctx.Err(), context.DeadlineExceeded) {
+				return ErrDeadline
+			}
+			return ErrCancelled
+		default:
+		}
+	}
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// finishPartial stamps a budget-stopped incumbent with its node count and the
+// residual bound gap computed from the open queue (the root node carries no
+// bound of its own and is skipped).
+func finishPartial(best *Solution, nodesDone int, queue []node, incumbent float64, better func(a, b float64) bool) *Solution {
+	best.Nodes = nodesDone
+	best.Proven = false
+	bound := incumbent
+	for _, nd := range queue {
+		if nd.basis != nil && better(nd.parentObj, bound) {
+			bound = nd.parentObj
+		}
+	}
+	best.Gap = math.Abs(incumbent-bound) / math.Max(1, math.Abs(incumbent))
+	return best
 }
 
 // solveRelaxation solves the LP relaxation with extra branch bounds applied,
@@ -303,7 +377,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 // each node resets every integer variable's bounds from the prototype and
 // re-applies its own branch bounds (branch bounds never touch continuous
 // variables).
-func (p *Problem) solveRelaxation(extra []bound, warm *lp.Basis) (*lp.Solution, error) {
+func (p *Problem) solveRelaxation(extra []bound, warm *lp.Basis, lpOpts lp.SolveOptions) (*lp.Solution, error) {
 	prob, err := p.relaxation()
 	if err != nil {
 		return nil, err
@@ -330,7 +404,7 @@ func (p *Problem) solveRelaxation(extra []bound, warm *lp.Basis) (*lp.Solution, 
 			return nil, err
 		}
 	}
-	return prob.SolveFrom(warm)
+	return prob.SolveFromWithOptions(warm, lpOpts)
 }
 
 // relaxation returns the shared relaxation Problem, (re)building it when the

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"greencloud/internal/lp"
 	"greencloud/internal/series"
@@ -74,6 +75,11 @@ type Options struct {
 	// versus migration churn; the default prices brown energy at each
 	// site's grid price and migrations at the donor's grid price.
 	BrownWeight float64
+	// LPTimeout, when positive, bounds the wall-clock time of the partition
+	// LP solve.  A solve that exceeds it degrades to the static greedy split
+	// (Plan.Degraded) instead of blocking the scheduling round — an hourly
+	// re-planner must deliver a valid plan on time, not a perfect plan late.
+	LPTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +108,7 @@ type Scheduler struct {
 	// reused (the repo-wide zero-steady-state-allocation idiom).
 	deficit []float64
 	pue     []float64
+	loads   []float64
 
 	// Cached partition LP.  The problem structure depends only on
 	// (datacenter count, horizon), so consecutive Partition calls with the
@@ -155,6 +162,15 @@ type Plan struct {
 	// MigratedKW is the total power that changes datacenter between the
 	// current placement and the plan's first hour.
 	MigratedKW float64
+	// Degraded is true when the partition LP failed (or ran past
+	// Options.LPTimeout) and the plan is the static greedy split instead of
+	// the LP optimum: every datacenter keeps its current load (clipped to
+	// capacity), with any unplaced remainder routed to the greenest
+	// headroom.  A degraded plan is always feasible — loads within capacity,
+	// every hour's total equal to the requested load.
+	Degraded bool
+	// DegradedReason describes the solver failure behind a degraded plan.
+	DegradedReason string
 }
 
 // Partition solves the workload-partitioning LP: how much IT power each
@@ -188,10 +204,18 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 		return nil, err
 	}
 
-	sol, err := s.lpProb.SolveFrom(s.basis)
+	var lpOpts lp.SolveOptions
+	if s.opts.LPTimeout > 0 {
+		lpOpts.Deadline = time.Now().Add(s.opts.LPTimeout)
+	}
+	sol, err := s.lpProb.SolveFromWithOptions(s.basis, lpOpts)
 	if err != nil {
+		// Degrade, don't fail: the inputs were validated above, so the only
+		// way here is a solver failure (numerical, deadline), and the hourly
+		// controller still needs a plan.  Fall back to the static greedy
+		// split and say so in the plan.
 		s.basis = nil
-		return nil, fmt.Errorf("sched: partition LP: %w", err)
+		return s.staticFallback(dcs, totalLoadKW, fmt.Sprintf("partition LP: %v", err)), nil
 	}
 	s.basis = sol.Basis()
 
@@ -474,8 +498,19 @@ func (s *Scheduler) MigrationSchedule(dcs []DatacenterState, placements map[stri
 // (the −1 product is exact), and threading the accumulator through
 // SumPositive keeps one addition chain across all datacenters.
 func (s *Scheduler) BrownEnergyIfStatic(dcs []DatacenterState) float64 {
-	total := 0.0
+	s.loads = s.loads[:0]
 	for _, dc := range dcs {
+		s.loads = append(s.loads, dc.CurrentLoadKW)
+	}
+	return s.brownEnergyForLoads(dcs, s.loads)
+}
+
+// brownEnergyForLoads is the kernel chain behind BrownEnergyIfStatic for an
+// arbitrary constant per-datacenter load split, shared with the degraded
+// fallback plan so its BrownKWh is computed exactly like the static baseline.
+func (s *Scheduler) brownEnergyForLoads(dcs []DatacenterState, loads []float64) float64 {
+	total := 0.0
+	for d, dc := range dcs {
 		h := s.opts.HorizonHours
 		if h > len(dc.GreenForecastKW) {
 			h = len(dc.GreenForecastKW)
@@ -483,11 +518,109 @@ func (s *Scheduler) BrownEnergyIfStatic(dcs []DatacenterState) float64 {
 		s.deficit = series.Grow(s.deficit, h)
 		s.pue = series.Grow(s.pue, h)
 		dc.pueSeries(s.pue)
-		series.Scale(s.deficit, dc.CurrentLoadKW, s.pue)
+		series.Scale(s.deficit, loads[d], s.pue)
 		series.AXPY(s.deficit, -1, dc.GreenForecastKW[:h])
 		total = series.SumPositive(total, s.deficit)
 	}
 	return total
+}
+
+// staticFallback is the degraded plan used when the partition LP cannot
+// deliver: every datacenter keeps its current load clipped to capacity, any
+// unplaced remainder goes to the greenest available headroom (and any excess
+// is shed from the least green sites), and the split is held constant over
+// the horizon.  The result always satisfies the plan invariants — per-hour
+// totals equal the requested load, no datacenter above capacity — because
+// Partition validated totalLoadKW against total capacity before calling.
+func (s *Scheduler) staticFallback(dcs []DatacenterState, totalLoadKW float64, reason string) *Plan {
+	n := len(dcs)
+	horizon := s.opts.HorizonHours
+	loads := make([]float64, n)
+	assigned := 0.0
+	for d, dc := range dcs {
+		l := dc.CurrentLoadKW
+		if l < 0 {
+			l = 0
+		}
+		if l > dc.CapacityKW {
+			l = dc.CapacityKW
+		}
+		loads[d] = l
+		assigned += l
+	}
+	remaining := totalLoadKW - assigned
+	if remaining > 0 {
+		for _, d := range s.greenOrder(dcs) {
+			room := dcs[d].CapacityKW - loads[d]
+			if room <= 0 {
+				continue
+			}
+			add := math.Min(room, remaining)
+			loads[d] += add
+			remaining -= add
+			if remaining <= 0 {
+				break
+			}
+		}
+	} else if remaining < 0 {
+		order := s.greenOrder(dcs)
+		for i := len(order) - 1; i >= 0 && remaining < 0; i-- {
+			d := order[i]
+			cut := math.Min(loads[d], -remaining)
+			loads[d] -= cut
+			remaining += cut
+		}
+	}
+
+	plan := &Plan{
+		LoadKW:         make([][]float64, n),
+		Degraded:       true,
+		DegradedReason: reason,
+	}
+	for d := range dcs {
+		row := make([]float64, horizon)
+		for h := range row {
+			row[h] = loads[d]
+		}
+		plan.LoadKW[d] = row
+		if moved := dcs[d].CurrentLoadKW - loads[d]; moved > 0 {
+			plan.MigratedKW += moved
+		}
+	}
+	plan.BrownKWh = s.brownEnergyForLoads(dcs, loads)
+	return plan
+}
+
+// greenOrder returns datacenter indices sorted by decreasing mean green
+// forecast over the horizon (ties by index), the deterministic order in which
+// the degraded fallback hands out spare load.
+func (s *Scheduler) greenOrder(dcs []DatacenterState) []int {
+	horizon := s.opts.HorizonHours
+	mean := make([]float64, len(dcs))
+	for d, dc := range dcs {
+		h := horizon
+		if h > len(dc.GreenForecastKW) {
+			h = len(dc.GreenForecastKW)
+		}
+		sum := 0.0
+		for _, g := range dc.GreenForecastKW[:h] {
+			sum += g
+		}
+		if h > 0 {
+			mean[d] = sum / float64(h)
+		}
+	}
+	order := make([]int, len(dcs))
+	for d := range order {
+		order[d] = d
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if mean[order[i]] != mean[order[j]] {
+			return mean[order[i]] > mean[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
 }
 
 // RoundLoads snaps a fractional power split onto whole VMs of the given

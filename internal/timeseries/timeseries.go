@@ -183,16 +183,6 @@ func NewGrid(representativeDays int) (*Grid, error) {
 	return &Grid{days: representativeDays, epochs: epochs}, nil
 }
 
-// MustGrid is like NewGrid but panics on an invalid day count.  It is meant
-// for package-level defaults with constant arguments.
-func MustGrid(representativeDays int) *Grid {
-	g, err := NewGrid(representativeDays)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // Days returns the number of representative days in the grid.
 func (g *Grid) Days() int { return g.days }
 

@@ -6,6 +6,18 @@ import (
 	"testing/quick"
 )
 
+// mustGrid builds a grid with a known-valid day count, failing the test
+// instead of panicking (NewGrid is the only constructor; the package no
+// longer exports a panicking variant).
+func mustGrid(t *testing.T, representativeDays int) *Grid {
+	t.Helper()
+	g, err := NewGrid(representativeDays)
+	if err != nil {
+		t.Fatalf("NewGrid(%d): %v", representativeDays, err)
+	}
+	return g
+}
+
 func TestHourlyLenAndIndexing(t *testing.T) {
 	h := NewHourly()
 	if h.Len() != HoursPerYear {
@@ -100,7 +112,7 @@ func TestNewGridValidation(t *testing.T) {
 }
 
 func TestGridShapeAndWeights(t *testing.T) {
-	g := MustGrid(4)
+	g := mustGrid(t, 4)
 	if g.Days() != 4 {
 		t.Errorf("Days() = %d, want 4", g.Days())
 	}
@@ -131,7 +143,7 @@ func TestGridReducePreservesDiurnalShape(t *testing.T) {
 	// reproduce it exactly regardless of the number of representative days.
 	h := Generate(func(day, hour int) float64 { return float64(hour * hour) })
 	for _, days := range []int{1, 2, 4, 12} {
-		g := MustGrid(days)
+		g := mustGrid(t, days)
 		reduced := g.Reduce(h)
 		for i, e := range g.Epochs() {
 			want := float64(e.Hour * e.Hour)
@@ -146,7 +158,7 @@ func TestGridReduceAveragesSeasons(t *testing.T) {
 	// Signal rises linearly with day of year; a single representative day
 	// must average to the yearly mean.
 	h := Generate(func(day, hour int) float64 { return float64(day) })
-	g := MustGrid(1)
+	g := mustGrid(t, 1)
 	reduced := g.Reduce(h)
 	want := 182.0 // mean of 0..364
 	for i, v := range reduced {
@@ -158,7 +170,7 @@ func TestGridReduceAveragesSeasons(t *testing.T) {
 
 func TestGridReduceSample(t *testing.T) {
 	h := Generate(func(day, hour int) float64 { return float64(day*100 + hour) })
-	g := MustGrid(2)
+	g := mustGrid(t, 2)
 	sampled := g.ReduceSample(h)
 	// First representative day covers days 0..182, middle day is 91.
 	if got, want := sampled[5], float64(91*100+5); got != want {
@@ -167,7 +179,7 @@ func TestGridReduceSample(t *testing.T) {
 }
 
 func TestWeightedSum(t *testing.T) {
-	g := MustGrid(4)
+	g := mustGrid(t, 4)
 	values := make([]float64, g.Len())
 	for i := range values {
 		values[i] = 1
@@ -232,7 +244,7 @@ func TestReducePropertyMeanPreserved(t *testing.T) {
 			x := float64(day*31+hour*7) + float64(seed%17)
 			return math.Sin(x/53.0) * 10
 		})
-		g := MustGrid(5)
+		g := mustGrid(t, 5)
 		reduced := g.Reduce(h)
 		total, err := g.WeightedSum(reduced)
 		if err != nil {
