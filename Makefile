@@ -74,10 +74,12 @@ cover:
 # tests, LPResolve exercises the warm-started revised-simplex path
 # (SetRHS + SolveFrom) end to end, and LPBounded exercises the
 # implicit-bound path (nonbasic-at-bound statuses, bound flips) on a
-# bound-heavy cold solve; running them here catches a benchmark-only
-# breakage (setup drift, catalog changes, a basis that stops translating)
-# in `make ci` instead of the full sweep.
-BENCH_SMOKE := ^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded)$$
+# bound-heavy cold solve, and EmulDay runs one full emulation day on a
+# reused Runner (metadata-plane GDFS + scratch reuse — the path that took
+# Fig. 15 from gigabytes of allocation to megabytes); running them here
+# catches a benchmark-only breakage (setup drift, catalog changes, a basis
+# that stops translating) in `make ci` instead of the full sweep.
+BENCH_SMOKE := ^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkEmulDay)$$
 
 bench-smoke:
 	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' .

@@ -7,10 +7,13 @@ import (
 	"testing"
 
 	"greencloud/internal/core"
+	"greencloud/internal/emul"
 	"greencloud/internal/experiments"
 	"greencloud/internal/location"
 	"greencloud/internal/lp"
 	"greencloud/internal/series"
+	"greencloud/internal/vm"
+	"greencloud/internal/wan"
 )
 
 // suite is shared across benchmarks: the synthetic catalog and the cached
@@ -187,6 +190,113 @@ func BenchmarkSchedulerComputeTime(b *testing.B) { runExperiment(b, "sched-timin
 // BenchmarkHeuristicVsExactSmall compares the heuristic solver against the
 // exact MILP on a small instance (Section III-D).
 func BenchmarkHeuristicVsExactSmall(b *testing.B) { runExperiment(b, "heuristic-vs-exact") }
+
+// emulBenchConfig builds an nDC-datacenter follow-the-renewables emulation
+// over the synthetic catalog's best solar sites (spread across time zones so
+// the sun is always up somewhere), with plants heavily overbuilt relative to
+// the nVMs-VM fleet so load actually chases the sun.  It mirrors
+// internal/emul's test configuration, parameterized for scale.
+func emulBenchConfig(b *testing.B, nDC, nVMs, hours int) emul.Config {
+	b.Helper()
+	cat, err := location.Generate(location.Options{Count: 60, Seed: 21, RepresentativeDays: 1})
+	if err != nil {
+		b.Fatalf("generate catalog: %v", err)
+	}
+	fleet := vm.NewHPCFleet("hpc", nVMs)
+	fleetKW := fleet.TotalPowerW() / 1000
+
+	solar := cat.TopBySolarCF(16)
+	picked := []*location.Site{solar[0]}
+	for _, cand := range solar[1:] {
+		distinct := true
+		for _, p := range picked {
+			d := cand.UTCOffsetHours - p.UTCOffsetHours
+			if d < 0 {
+				d = -d
+			}
+			if d > 12 {
+				d = 24 - d
+			}
+			if d < 5 {
+				distinct = false
+				break
+			}
+		}
+		if distinct {
+			picked = append(picked, cand)
+		}
+		if len(picked) == nDC {
+			break
+		}
+	}
+	for len(picked) < nDC {
+		picked = append(picked, solar[len(picked)])
+	}
+
+	dcs := make([]emul.DatacenterConfig, 0, nDC)
+	for _, site := range picked {
+		dcs = append(dcs, emul.DatacenterConfig{
+			Name:       site.Name,
+			Site:       site,
+			CapacityKW: fleetKW,
+			SolarKW:    fleetKW * 8 / site.SolarCapacityFactor * 0.25,
+			WindKW:     0.2,
+		})
+	}
+	return emul.Config{
+		Datacenters:  dcs,
+		VMs:          fleet,
+		StartHour:    24 * 172,
+		Hours:        hours,
+		HorizonHours: 12,
+		Link:         wan.Link{BandwidthMbps: 1000, LatencyMs: 90},
+	}
+}
+
+// BenchmarkEmulDay measures one 24-hour GreenNebula emulation day at the
+// paper's 9-VM validation scale on a reused Runner — the metadata-plane GDFS
+// and the Runner's scratch reuse are what keep its allocations flat, so
+// bytes/op here is a contract, not a curiosity.
+func BenchmarkEmulDay(b *testing.B) {
+	r, err := emul.NewRunner(emulBenchConfig(b, 3, 9, 24))
+	if err != nil {
+		b.Fatalf("build runner: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run()
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		if res.Migrations == 0 {
+			b.Fatal("emulation produced no migrations")
+		}
+	}
+}
+
+// BenchmarkEmulScale measures the emulation at production scale — 2000 VMs
+// across 4 datacenters for 12 hours — which the payload-plane GDFS could not
+// touch (2000 VMs × 64 MiB of blocks would be 128 GiB of live byte slices);
+// on the metadata plane a replica is three scalars and the whole run
+// completes in seconds.
+func BenchmarkEmulScale(b *testing.B) {
+	r, err := emul.NewRunner(emulBenchConfig(b, 4, 2000, 12))
+	if err != nil {
+		b.Fatalf("build runner: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run()
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		if res.Migrations == 0 {
+			b.Fatal("emulation produced no migrations")
+		}
+	}
+}
 
 // lpBenchDCs × lpBenchHorizon is the shape of the benchmark partition LP —
 // the scheduler's production shape (3 datacenters × 48 hours).

@@ -11,11 +11,17 @@
 //   - with -baseline, the fresh snapshot is diffed against a previous one
 //     (the literal name "latest" resolves to the newest existing
 //     BENCH_*.json next to -out) and the process exits non-zero when any
-//     benchmark regressed by more than 10% ns/op.  Benchmarks that ran
-//     fewer than 10 iterations in either snapshot are reported but never
-//     gated — a one-shot measurement swings past 10% on machine and code
-//     layout noise alone — and a failed benchmark run is never
-//     snapshotted at all, so a crash cannot poison the baseline chain.
+//     benchmark regressed by more than 10% in ns/op, bytes/op or
+//     allocs/op.  Benchmarks that ran fewer than 10 iterations in either
+//     snapshot are reported but not time-gated — a one-shot measurement
+//     swings past 10% on machine and code layout noise alone.  Allocation
+//     metrics get one extension: even on a low-iteration benchmark, more
+//     than 10x growth in bytes/op or allocs/op fails the run, because an
+//     allocation footprint is near-deterministic and order-of-magnitude
+//     growth is exactly the regression that gate exists to stop (Fig. 15's
+//     one-shot run once allocated 59 GB/op; the gate keeps it from coming
+//     back).  A failed benchmark run is never snapshotted at all, so a
+//     crash cannot poison the baseline chain.
 //
 // With -check-only the snapshot is parsed and diffed but never written:
 // the mode CI runs on the smoke benchmarks (`make bench-check`), where the
@@ -274,9 +280,16 @@ func committedSnapshots(dir string) ([]string, bool) {
 	return names, true
 }
 
-// diffAgainst prints the per-benchmark ns/op deltas of snap versus the
-// baseline file and reports whether any shared benchmark slowed down by
-// more than the regression threshold.
+// lowNAllocFactor is the growth factor above which a bytes/op or allocs/op
+// regression is gated even on a benchmark below minGateIterations: unlike
+// wall time, an allocation footprint is near-deterministic (only sync.Pool
+// and map-growth timing jitter it), so order-of-magnitude growth on a
+// one-shot benchmark is a real regression, not noise.
+const lowNAllocFactor = 10.0
+
+// diffAgainst prints the per-benchmark deltas of snap versus the baseline
+// file and reports whether any shared benchmark regressed by more than the
+// threshold in ns/op, bytes/op or allocs/op.
 func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -299,6 +312,7 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 	var regressions []string
 	for _, name := range names {
 		oldRes, newRes := base.Benchmarks[name], snap.Benchmarks[name]
+		lowN := oldRes.N < minGateIterations || newRes.N < minGateIterations
 		old, now := oldRes.NsPerOp, newRes.NsPerOp
 		if old <= 0 {
 			continue
@@ -306,7 +320,7 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 		delta := (now - old) / old
 		marker := ""
 		if delta > regressionThreshold {
-			if oldRes.N < minGateIterations || newRes.N < minGateIterations {
+			if lowN {
 				marker = fmt.Sprintf("  (not gated: n=%d/%d < %d, too noisy)",
 					oldRes.N, newRes.N, minGateIterations)
 			} else {
@@ -316,6 +330,52 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 		}
 		fmt.Fprintf(os.Stderr, "  %-32s %14.0f -> %14.0f ns/op  %+6.1f%%%s\n",
 			name, old, now, 100*delta, marker)
+
+		// Allocation metrics, printed only when they move past the
+		// threshold so the diff stays readable.  Same iteration guard as
+		// ns/op, except that >lowNAllocFactor growth is gated even on a
+		// low-n benchmark (allocation footprints are near-deterministic).
+		for _, m := range []struct {
+			unit     string
+			old, now *float64
+		}{
+			{"B/op", oldRes.BytesPerOp, newRes.BytesPerOp},
+			{"allocs/op", oldRes.AllocsPerOp, newRes.AllocsPerOp},
+		} {
+			if m.old == nil || m.now == nil {
+				continue
+			}
+			old, now := *m.old, *m.now
+			if old <= 0 {
+				// A zero-allocation contract breaking (0 -> anything) has no
+				// finite relative delta; gate it under the usual noise guard.
+				if now > 0 {
+					marker := "  <-- REGRESSION"
+					if lowN {
+						marker = fmt.Sprintf("  (not gated: n=%d/%d < %d)",
+							oldRes.N, newRes.N, minGateIterations)
+					} else {
+						regressions = append(regressions, name+" "+m.unit)
+					}
+					fmt.Fprintf(os.Stderr, "  %-32s %14.0f -> %14.0f %s  (was zero)%s\n",
+						name, old, now, m.unit, marker)
+				}
+				continue
+			}
+			delta := (now - old) / old
+			if delta <= regressionThreshold {
+				continue
+			}
+			marker := "  <-- REGRESSION"
+			if lowN && now <= lowNAllocFactor*old {
+				marker = fmt.Sprintf("  (not gated: n=%d/%d < %d and growth <=%.0fx)",
+					oldRes.N, newRes.N, minGateIterations, lowNAllocFactor)
+			} else {
+				regressions = append(regressions, name+" "+m.unit)
+			}
+			fmt.Fprintf(os.Stderr, "  %-32s %14.0f -> %14.0f %s  %+6.1f%%%s\n",
+				name, old, now, m.unit, 100*delta, marker)
+		}
 	}
 	var added, gone []string
 	for name := range snap.Benchmarks {
@@ -337,11 +397,12 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 		fmt.Fprintf(os.Stderr, "  %-32s (gone)\n", name)
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed >%0.f%% ns/op: %s\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed >%0.f%%: %s\n",
 			len(regressions), 100*regressionThreshold, strings.Join(regressions, ", "))
 		return true, nil
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: no ns/op regressions >%0.f%%\n", 100*regressionThreshold)
+	fmt.Fprintf(os.Stderr, "benchjson: no ns/op, B/op or allocs/op regressions >%0.f%%\n",
+		100*regressionThreshold)
 	return false, nil
 }
 

@@ -150,6 +150,46 @@
 // previous point's siting (experiments.Config.DisableWarmStart turns that
 // off).
 //
+// # The emulation hot loop: metadata-plane GDFS and the reusable Runner
+//
+// The follow-the-renewables emulation (internal/emul) is GreenNebula's hot
+// path: every emulated hour forecasts green power, partitions the load,
+// migrates VMs over the emulated WAN and dirties each VM's disk blocks into
+// GDFS.  Two designs keep it at production scale:
+//
+//   - GDFS carries two interchangeable data planes.  The payload plane
+//     (gdfs.Worker) stores real block bytes — rpc/TCP serving runs on it,
+//     its buffers are pooled and created-but-unwritten blocks stay lazy
+//     zero pages.  The metadata plane (gdfs.MetaWorker) stores a replica as
+//     three scalars {version, length, digest}: writes bump versions,
+//     replication copies metadata, byte counters (BytesStored,
+//     pending-migration bytes, staleness, re-replication plans) are
+//     arithmetic.  The contract is that every externally visible counter is
+//     byte-for-byte identical across planes — same digest if and only if
+//     same content, same replica sets, same re-replication task lists —
+//     pinned by a randomized differential test that drives both planes
+//     through identical op schedules (internal/gdfs/meta_test.go).  The one
+//     deliberate gap: MetaWorker.ReadBlock returns gdfs.ErrMetadataOnly, so
+//     a cluster must be plane-homogeneous.  The emulation runs the metadata
+//     plane by default (emul.Config.DataPlane), which removes gigabytes of
+//     live block slices from a large fleet's working set.
+//   - emul.Runner owns every per-run and per-hour buffer: green/PUE traces
+//     and forecast windows live in series.Blocks, predictors fill
+//     caller-provided slices (predict.Predictor.PredictInto), fleets are
+//     maintained pre-sorted across hours so the scheduler skips re-sorting,
+//     and the scheduler's partition LP + basis persist across hours
+//     (internal/sched warm starts).  Migration execution is sharded by
+//     destination datacenter with a merge in destination order; a
+//     datacenter is never donor and receiver in the same round, so any
+//     emul.Config.Parallelism level is bit-identical to sequential
+//     execution (pinned under -race).  A Runner's second Run is
+//     bit-identical to its first; the scratch-ownership rules are in
+//     internal/emul's package comment.
+//
+// BenchmarkEmulDay runs one emulated day on a reused Runner (its bytes/op
+// is a contract, gated by benchjson alongside ns/op);  BenchmarkEmulScale
+// holds thousands of VMs per emulated hour.
+//
 // # Failure semantics: budgets, recovery, degradation
 //
 // No exported API panics on valid inputs; everything that can go wrong is

@@ -5,11 +5,32 @@
 // energy traces of the selected sites (internal/location) to reproduce the
 // follow-the-renewables experiments of Section V of the paper — in
 // particular the day-long load-distribution trace of Fig. 15.
+//
+// # Runner and scratch ownership
+//
+// A Runner owns every piece of reusable state an emulation needs — the
+// green/PUE year traces (series.Block rows), the per-hour scheduler view
+// (states, forecast and PUE horizon windows, placements), the migration
+// pipeline's shards and the per-datacenter fleets — so the hour loop does
+// not allocate.  The rules:
+//
+//   - Scratch is owned by the Runner and valid only within the Run call
+//     that is using it; nothing reachable from a returned Result aliases
+//     it (each Run allocates a fresh Result and Trace).
+//   - sched.DatacenterState rows handed to the scheduler point into the
+//     Runner's forecast/PUE scratch; the scheduler copies what it keeps.
+//   - A Runner is single-goroutine: one Run at a time.  Repeated Run calls
+//     are independent — the scheduler's warm-start basis is dropped
+//     between runs (sched.Reset), so every Run is bit-identical to a
+//     fresh one.
 package emul
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"greencloud/internal/gdfs"
 	"greencloud/internal/location"
@@ -17,6 +38,7 @@ import (
 	"greencloud/internal/nebula"
 	"greencloud/internal/predict"
 	"greencloud/internal/sched"
+	"greencloud/internal/series"
 	"greencloud/internal/vm"
 	"greencloud/internal/wan"
 )
@@ -58,6 +80,17 @@ type Config struct {
 	// Predictor selects the green-energy predictor ("perfect",
 	// "persistence" or "diurnal"; default "perfect", as in the paper).
 	Predictor string
+	// DataPlane selects the GDFS block-store backing the emulated disks:
+	// "" or "meta" is the metadata plane (a replica is {version, length,
+	// digest} scalars, no payload bytes ever materialize); "payload"
+	// stores real buffers, exercising the same store the rpc/TCP path
+	// uses.  Both planes produce bit-identical emulation results.
+	DataPlane string
+	// Parallelism caps the migration-execution pipeline's worker
+	// goroutines (0 = GOMAXPROCS, 1 = sequential).  Results are
+	// bit-identical at any setting: moves are sharded per destination and
+	// merged in a fixed order.
+	Parallelism int
 }
 
 // HourRecord is one datacenter-hour of the emulation trace — the data behind
@@ -109,8 +142,79 @@ var (
 // disk keeps memory bounded without changing what the experiment measures.
 const maxGDFSDiskMB = 64
 
-// Run executes the emulation.
+// Run executes the emulation.  It is the one-shot convenience around
+// NewRunner + Runner.Run.
 func Run(cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// moveShard is the migration pipeline's unit of work: all of one hour's
+// moves into a single destination datacenter, executed in schedule order.
+// Shards run concurrently — a datacenter is never donor and receiver in
+// the same round, so no two shards place into or remove from a manager
+// whose packing another shard is reading — and their accumulators are
+// merged in destination order, making the pipeline's output independent of
+// goroutine interleaving.
+type moveShard struct {
+	moves    []int // indices into the hour's move list, schedule order
+	executed []int // moves actually placed (receiver had room)
+	failed   []int // moves rolled back sequentially after the join
+	energy   []float64
+	bytes    []int64
+	in, out  []int
+	err      error
+}
+
+// Runner owns the reusable state of an emulation (see the package comment
+// for the scratch-ownership rules).  Create one with NewRunner and call
+// Run; repeated Runs reuse the traces, predictors, scheduler LP structure
+// and every scratch buffer.
+type Runner struct {
+	cfg     Config
+	names   []string
+	dcIndex map[string]int
+	network *wan.Network
+
+	// Year traces, one row per datacenter, backed by a single Block when
+	// every site shares a trace length (they do for one catalog).
+	green [][]float64
+	pue   [][]float64
+
+	predictors     []predict.Predictor
+	scheduler      *sched.Scheduler
+	totalVMPowerKW float64
+	vmPaths        []string
+	vmIndex        map[string]int
+
+	// Per-run cluster state, rebuilt at the top of each Run.
+	managers []*nebula.Datacenter
+	master   *gdfs.Master
+	cluster  *gdfs.Cluster
+	clients  []*gdfs.Client
+	files    []*gdfs.FileInfo
+	home     []int
+	fleets   []vm.Fleet
+
+	// Per-hour scratch.  windows holds the forecast rows (0..n-1) and PUE
+	// rows (n..2n-1) of the scheduler's horizon view.
+	states     []sched.DatacenterState
+	windows    series.Block
+	placements map[string]vm.Fleet
+	migEnergy  []float64
+	migBytes   []int64
+	migIn      []int
+	migOut     []int
+	shards     []moveShard
+	movedOut   map[string]struct{}
+}
+
+// NewRunner validates the configuration and builds the immutable parts of
+// an emulation: WAN mesh, green/PUE traces, predictors, scheduler.
+func NewRunner(cfg Config) (*Runner, error) {
 	if len(cfg.Datacenters) < 2 {
 		return nil, ErrNoDatacenters
 	}
@@ -129,135 +233,234 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Link.BandwidthMbps == 0 {
 		cfg.Link = wan.DefaultLink
 	}
+	switch cfg.DataPlane {
+	case "", "meta", "payload":
+	default:
+		return nil, fmt.Errorf("emul: unknown data plane %q", cfg.DataPlane)
+	}
 
-	names := make([]string, len(cfg.Datacenters))
+	n := len(cfg.Datacenters)
+	r := &Runner{cfg: cfg}
+	r.names = make([]string, n)
 	for i, dc := range cfg.Datacenters {
 		if dc.Site == nil {
 			return nil, fmt.Errorf("emul: datacenter %q has no site", dc.Name)
 		}
-		names[i] = dc.Name
+		r.names[i] = dc.Name
 	}
-	network, err := wan.FullMesh(names, cfg.Link)
+	network, err := wan.FullMesh(r.names, cfg.Link)
 	if err != nil {
 		return nil, err
 	}
-
-	// Green production and PUE traces per datacenter (hourly, UTC clock).
-	greenTrace := make([][]float64, len(cfg.Datacenters))
-	pueTrace := make([][]float64, len(cfg.Datacenters))
-	for i, dc := range cfg.Datacenters {
-		alpha, beta, pueSeries := dc.Site.HourlyProfilesUTC()
-		hours := alpha.Len()
-		g := make([]float64, hours)
-		p := make([]float64, hours)
-		for h := 0; h < hours; h++ {
-			g[h] = alpha.At(h)*dc.SolarKW + beta.At(h)*dc.WindKW
-			p[h] = pueSeries.At(h)
-		}
-		greenTrace[i] = g
-		pueTrace[i] = p
+	r.network = network
+	r.dcIndex = make(map[string]int, n)
+	for i, name := range r.names {
+		r.dcIndex[name] = i
 	}
 
-	predictors := make([]predict.Predictor, len(cfg.Datacenters))
+	// Green production and PUE traces per datacenter (hourly, UTC clock).
+	// All sites of a catalog share the trace length, letting one Block back
+	// every row; mixed lengths fall back to per-row slices.
+	r.green = make([][]float64, n)
+	r.pue = make([][]float64, n)
+	uniform := true
+	first := -1
+	for _, dc := range cfg.Datacenters {
+		alpha, _, _ := dc.Site.HourlyProfilesUTC()
+		if first < 0 {
+			first = alpha.Len()
+		} else if alpha.Len() != first {
+			uniform = false
+		}
+	}
+	var yearBlock series.Block
+	if uniform {
+		yearBlock = series.NewBlock(2*n, first)
+	}
+	for i, dc := range cfg.Datacenters {
+		alpha, beta, pueSeries := dc.Site.HourlyProfilesUTC()
+		var g, p []float64
+		if uniform {
+			g, p = yearBlock.Row(i), yearBlock.Row(n+i)
+		} else {
+			g = make([]float64, alpha.Len())
+			p = make([]float64, alpha.Len())
+		}
+		series.WeightedSum(g, dc.SolarKW, alpha.Values(), dc.WindKW, beta.Values())
+		copy(p, pueSeries.Values())
+		r.green[i] = g
+		r.pue[i] = p
+	}
+
+	r.predictors = make([]predict.Predictor, n)
 	for i := range cfg.Datacenters {
 		switch cfg.Predictor {
 		case "", "perfect":
-			predictors[i] = &predict.Perfect{Trace: greenTrace[i]}
+			r.predictors[i] = &predict.Perfect{Trace: r.green[i]}
 		case "persistence":
-			predictors[i] = &predict.Persistence{Trace: greenTrace[i]}
+			r.predictors[i] = &predict.Persistence{Trace: r.green[i]}
 		case "diurnal":
-			predictors[i] = &predict.Diurnal{Trace: greenTrace[i]}
+			r.predictors[i] = &predict.Diurnal{Trace: r.green[i]}
 		default:
 			return nil, fmt.Errorf("emul: unknown predictor %q", cfg.Predictor)
 		}
 	}
 
-	// Within-datacenter managers and GDFS.
-	managers := make([]*nebula.Datacenter, len(cfg.Datacenters))
-	master := gdfs.NewMaster(len(cfg.Datacenters))
-	cluster := gdfs.NewCluster(master)
-	clients := make([]*gdfs.Client, len(cfg.Datacenters))
+	r.scheduler = sched.New(sched.Options{
+		HorizonHours:      cfg.HorizonHours,
+		MigrationFraction: cfg.MigrationFraction,
+	})
+	r.totalVMPowerKW = cfg.VMs.TotalPowerW() / 1000
+
+	r.vmPaths = make([]string, len(cfg.VMs))
+	r.vmIndex = make(map[string]int, len(cfg.VMs))
+	for vi, machine := range cfg.VMs {
+		r.vmPaths[vi] = "/vm/" + machine.ID + "/disk"
+		r.vmIndex[machine.ID] = vi
+	}
+
+	// Per-run and per-hour scratch, allocated once.
+	r.managers = make([]*nebula.Datacenter, n)
+	r.clients = make([]*gdfs.Client, n)
+	r.files = make([]*gdfs.FileInfo, len(cfg.VMs))
+	r.home = make([]int, len(cfg.VMs))
+	r.fleets = make([]vm.Fleet, n)
+	r.states = make([]sched.DatacenterState, n)
+	r.windows = series.NewBlock(2*n, cfg.HorizonHours)
+	r.placements = make(map[string]vm.Fleet, n)
+	r.migEnergy = make([]float64, n)
+	r.migBytes = make([]int64, n)
+	r.migIn = make([]int, n)
+	r.migOut = make([]int, n)
+	r.shards = make([]moveShard, n)
+	for i := range r.shards {
+		r.shards[i].energy = make([]float64, n)
+		r.shards[i].bytes = make([]int64, n)
+		r.shards[i].in = make([]int, n)
+		r.shards[i].out = make([]int, n)
+	}
+	r.movedOut = make(map[string]struct{}, len(cfg.VMs))
+	return r, nil
+}
+
+// sortFleet orders a fleet in SortByFootprint order in place (footprint
+// ascending, ties by ID — a total order, so the result is deterministic).
+func sortFleet(f vm.Fleet) {
+	sort.Slice(f, func(i, j int) bool {
+		fi, fj := f[i].FootprintMB(), f[j].FootprintMB()
+		if fi != fj {
+			return fi < fj
+		}
+		return f[i].ID < f[j].ID
+	})
+}
+
+// loadKWOf sums a datacenter fleet's IT power in fleet order.
+func (r *Runner) loadKWOf(i int) float64 {
+	total := 0.0
+	for _, machine := range r.fleets[i] {
+		total += machine.PowerW
+	}
+	return total / 1000
+}
+
+// reset rebuilds the per-run state: fresh managers and GDFS cluster, all
+// VMs placed at the first datacenter, one disk file per VM, fleets sorted.
+func (r *Runner) reset() error {
+	cfg := &r.cfg
+	n := len(cfg.Datacenters)
+	r.master = gdfs.NewMaster(n)
+	r.cluster = gdfs.NewCluster(r.master)
 	for i, dc := range cfg.Datacenters {
 		hosts := dc.Hosts
 		if hosts == 0 {
 			hosts = len(cfg.VMs) // enough for full replication of the fleet
 		}
-		managers[i] = nebula.NewUniformDatacenter(dc.Name, hosts)
-		worker := gdfs.NewWorker(gdfs.WorkerID(dc.Name))
-		if err := cluster.AddWorker(worker, dc.Name); err != nil {
-			return nil, err
+		r.managers[i] = nebula.NewUniformDatacenter(dc.Name, hosts)
+		var store gdfs.BlockStore
+		if cfg.DataPlane == "payload" {
+			store = gdfs.NewWorker(gdfs.WorkerID(dc.Name))
+		} else {
+			store = gdfs.NewMetaWorker(gdfs.WorkerID(dc.Name))
 		}
-		client, err := cluster.NewClient(gdfs.WorkerID(dc.Name))
+		if err := r.cluster.AddWorker(store, dc.Name); err != nil {
+			return err
+		}
+		client, err := r.cluster.NewClient(gdfs.WorkerID(dc.Name))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		clients[i] = client
-	}
-	dcIndex := make(map[string]int, len(names))
-	for i, n := range names {
-		dcIndex[n] = i
+		r.clients[i] = client
+		r.fleets[i] = r.fleets[i][:0]
 	}
 
 	// Initial placement: all VMs start at the first datacenter (the paper's
 	// runs start with the load wherever the day begins greenest; starting
 	// at a fixed site lets the first scheduling round move it).
-	vmHome := make(map[string]int, len(cfg.VMs))
-	for _, machine := range cfg.VMs {
-		if _, err := managers[0].Place(machine); err != nil {
-			return nil, fmt.Errorf("emul: initial placement: %w", err)
+	for vi, machine := range cfg.VMs {
+		if _, err := r.managers[0].Place(machine); err != nil {
+			return fmt.Errorf("emul: initial placement: %w", err)
 		}
-		vmHome[machine.ID] = 0
+		r.home[vi] = 0
 		diskMB := machine.DiskMB
 		if diskMB > maxGDFSDiskMB {
 			diskMB = maxGDFSDiskMB
 		}
-		if _, err := clients[0].Create("/vm/"+machine.ID+"/disk", int64(diskMB)<<20); err != nil {
-			return nil, err
+		fi, err := r.clients[0].Create(r.vmPaths[vi], int64(diskMB)<<20)
+		if err != nil {
+			return err
 		}
+		r.files[vi] = fi
 	}
+	r.fleets[0] = append(r.fleets[0], cfg.VMs...)
+	sortFleet(r.fleets[0])
+	r.scheduler.Reset()
+	return nil
+}
 
-	scheduler := sched.New(sched.Options{
-		HorizonHours:      cfg.HorizonHours,
-		MigrationFraction: cfg.MigrationFraction,
-	})
-
-	totalVMPowerKW := cfg.VMs.TotalPowerW() / 1000
-	res := &Result{}
+// Run executes the emulation.  The returned Result is freshly allocated
+// and does not alias the Runner's scratch.
+func (r *Runner) Run() (*Result, error) {
+	if err := r.reset(); err != nil {
+		return nil, err
+	}
+	cfg := &r.cfg
+	n := len(cfg.Datacenters)
+	res := &Result{Trace: make([]HourRecord, 0, cfg.Hours*n)}
 	var schedNanosTotal int64
 	var schedRounds int64
 
 	for hour := 0; hour < cfg.Hours; hour++ {
 		absHour := cfg.StartHour + hour
 
-		// Build the scheduler's view of each datacenter.
-		states := make([]sched.DatacenterState, len(cfg.Datacenters))
-		placements := make(map[string]vm.Fleet, len(cfg.Datacenters))
+		// Build the scheduler's view of each datacenter in the Runner's
+		// scratch: forecast and PUE horizon windows are Block rows, the
+		// placements map points at the maintained (footprint-sorted)
+		// fleets so MigrationSchedule skips its copy-and-sort.
 		for i, dc := range cfg.Datacenters {
-			forecast, err := predictors[i].Predict(absHour%len(greenTrace[i]), cfg.HorizonHours)
-			if err != nil {
+			forecast := r.windows.Row(i)
+			if err := r.predictors[i].PredictInto(forecast, absHour%len(r.green[i])); err != nil {
 				return nil, err
 			}
-			pues := make([]float64, cfg.HorizonHours)
-			for h := 0; h < cfg.HorizonHours; h++ {
-				pues[h] = pueTrace[i][(absHour+h)%len(pueTrace[i])]
-			}
-			states[i] = sched.DatacenterState{
+			pues := r.windows.Row(n + i)
+			fillWrapped(pues, r.pue[i], absHour)
+			r.states[i] = sched.DatacenterState{
 				Name:               dc.Name,
 				CapacityKW:         dc.CapacityKW,
-				CurrentLoadKW:      managers[i].VMs().TotalPowerW() / 1000,
+				CurrentLoadKW:      r.loadKWOf(i),
 				GreenForecastKW:    forecast,
 				PUE:                pues,
 				GridPriceUSDPerKWh: dc.Site.GridPriceUSDPerKWh,
 			}
-			placements[dc.Name] = managers[i].VMs()
+			r.placements[dc.Name] = r.fleets[i]
 		}
 
 		start := nowNanos()
-		plan, err := scheduler.Partition(states, totalVMPowerKW)
+		plan, err := r.scheduler.Partition(r.states, r.totalVMPowerKW)
 		if err != nil {
 			return nil, fmt.Errorf("emul: hour %d: %w", hour, err)
 		}
-		moves, err := scheduler.MigrationSchedule(states, placements, plan, network.Distance)
+		moves, err := r.scheduler.MigrationSchedule(r.states, r.placements, plan, r.network.Distance)
 		if err != nil {
 			return nil, err
 		}
@@ -265,68 +468,24 @@ func Run(cfg Config) (*Result, error) {
 		schedNanosTotal += elapsed
 		schedRounds++
 
-		// Execute the migrations: move the VM between managers, ship the
-		// stale GDFS blocks, account the energy.
-		migEnergyKWh := make([]float64, len(cfg.Datacenters))
-		migIn := make([]int, len(cfg.Datacenters))
-		migOut := make([]int, len(cfg.Datacenters))
-		migBytes := make([]int64, len(cfg.Datacenters))
-		for _, mv := range moves {
-			fromIdx, okF := dcIndex[mv.From]
-			toIdx, okT := dcIndex[mv.To]
-			if !okF || !okT {
-				return nil, fmt.Errorf("emul: migration between unknown datacenters %s→%s", mv.From, mv.To)
-			}
-			machine, err := managers[fromIdx].Remove(mv.VM.ID)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := managers[toIdx].Place(machine); err != nil {
-				// Receiver full: put the VM back and skip the move.
-				if _, backErr := managers[fromIdx].Place(machine); backErr != nil {
-					return nil, fmt.Errorf("emul: lost VM %s: %v", machine.ID, backErr)
-				}
-				continue
-			}
-			diskPath := "/vm/" + machine.ID + "/disk"
-			pendingBytes, err := clients[fromIdx].PendingMigrationBytes(diskPath, gdfs.WorkerID(mv.To))
-			if err != nil {
-				return nil, err
-			}
-			result, err := migrate.Simulate(migrate.Plan{
-				VM:          machine,
-				From:        mv.From,
-				To:          mv.To,
-				DirtyDiskMB: float64(pendingBytes) / (1 << 20),
-			}, network, migrate.Options{EpochHours: cfg.MigrationFraction})
-			if err != nil {
-				return nil, err
-			}
-			// The conservative accounting charges the migration at both
-			// ends for MigrationFraction of the epoch.
-			migEnergyKWh[fromIdx] += result.ConservativeEnergyKWh
-			migEnergyKWh[toIdx] += result.ConservativeEnergyKWh
-			migBytes[fromIdx] += int64(result.TransferredMB * (1 << 20))
-			migIn[toIdx]++
-			migOut[fromIdx]++
-			vmHome[machine.ID] = toIdx
-			res.Migrations++
+		migrations, err := r.executeMoves(moves)
+		if err != nil {
+			return nil, err
 		}
+		res.Migrations += migrations
+
 		// Background GDFS re-replication catches the destinations up.
-		cluster.ReplicateOnce()
+		r.cluster.ReplicateOnce()
 
 		// Simulate the hour: VMs dirty disk blocks at their home site.
-		for _, machine := range cfg.VMs {
-			home := vmHome[machine.ID]
-			diskPath := "/vm/" + machine.ID + "/disk"
-			fi, err := master.Stat(diskPath)
-			if err != nil {
-				return nil, err
-			}
+		for vi := range cfg.VMs {
+			machine := &cfg.VMs[vi]
+			fi := r.files[vi]
+			client := r.clients[r.home[vi]]
 			dirtyBlocks := int(machine.DiskDirtyMBPerHour*(1<<20)/float64(fi.BlockSize)) + 1
 			for b := 0; b < dirtyBlocks && b < len(fi.Blocks); b++ {
 				block := (hour*dirtyBlocks + b) % len(fi.Blocks)
-				if err := clients[home].WriteBlock(diskPath, block, make([]byte, fi.BlockSize)); err != nil {
+				if err := client.DirtyBlock(fi, block); err != nil {
 					return nil, err
 				}
 			}
@@ -334,11 +493,11 @@ func Run(cfg Config) (*Result, error) {
 
 		// Record the trace for this hour.
 		for i, dc := range cfg.Datacenters {
-			loadKW := managers[i].VMs().TotalPowerW() / 1000
-			pue := pueTrace[i][absHour%len(pueTrace[i])]
+			loadKW := r.loadKWOf(i)
+			pue := r.pue[i][absHour%len(r.pue[i])]
 			overheadKW := loadKW * (pue - 1)
-			greenKW := greenTrace[i][absHour%len(greenTrace[i])]
-			migKW := migEnergyKWh[i] // one-hour epochs: kWh == kW
+			greenKW := r.green[i][absHour%len(r.green[i])]
+			migKW := r.migEnergy[i] // one-hour epochs: kWh == kW
 			demandKW := loadKW + overheadKW + migKW
 			brownKW := demandKW - greenKW
 			if brownKW < 0 {
@@ -352,10 +511,10 @@ func Run(cfg Config) (*Result, error) {
 				PUEOverheadKW:  overheadKW,
 				MigrationKW:    migKW,
 				BrownKW:        brownKW,
-				VMCount:        managers[i].VMCount(),
-				MigrationsIn:   migIn[i],
-				MigrationsOut:  migOut[i],
-				MigratedBytes:  migBytes[i],
+				VMCount:        len(r.fleets[i]),
+				MigrationsIn:   r.migIn[i],
+				MigrationsOut:  r.migOut[i],
+				MigratedBytes:  r.migBytes[i],
 				SchedulerNanos: elapsed,
 			})
 			res.TotalDemandKWh += demandKW
@@ -371,4 +530,189 @@ func Run(cfg Config) (*Result, error) {
 		res.GreenFraction = res.TotalGreenKWh / res.TotalDemandKWh
 	}
 	return res, nil
+}
+
+// fillWrapped fills dst with src values starting at absolute hour `from`,
+// wrapping around the year trace.
+func fillWrapped(dst, src []float64, from int) {
+	start := from % len(src)
+	for filled := 0; filled < len(dst); {
+		n := copy(dst[filled:], src[start:])
+		filled += n
+		start = (start + n) % len(src)
+	}
+}
+
+// executeMoves runs one hour's migration schedule: move VMs between
+// managers, ship the stale GDFS blocks, account the energy.  Moves are
+// sharded by destination datacenter and the shards run concurrently (up to
+// cfg.Parallelism workers); per-shard accumulators merged in destination
+// order make the result bit-identical to sequential execution.  It fills
+// r.migEnergy/migBytes/migIn/migOut, updates r.home and the per-datacenter
+// fleets, and returns the number of migrations performed.
+func (r *Runner) executeMoves(moves []sched.Migration) (int, error) {
+	n := len(r.cfg.Datacenters)
+	for i := 0; i < n; i++ {
+		r.migEnergy[i] = 0
+		r.migBytes[i] = 0
+		r.migIn[i] = 0
+		r.migOut[i] = 0
+		sh := &r.shards[i]
+		sh.moves = sh.moves[:0]
+		sh.executed = sh.executed[:0]
+		sh.failed = sh.failed[:0]
+		sh.err = nil
+	}
+	if len(moves) == 0 {
+		return 0, nil
+	}
+	// Shard by destination, preserving schedule order within each shard.
+	for mi, mv := range moves {
+		toIdx, okT := r.dcIndex[mv.To]
+		_, okF := r.dcIndex[mv.From]
+		if !okF || !okT {
+			return 0, fmt.Errorf("emul: migration between unknown datacenters %s→%s", mv.From, mv.To)
+		}
+		r.shards[toIdx].moves = append(r.shards[toIdx].moves, mi)
+	}
+
+	workers := r.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	work := make(chan int, n)
+	active := 0
+	for i := 0; i < n; i++ {
+		if len(r.shards[i].moves) > 0 {
+			work <- i
+			active++
+		}
+	}
+	close(work)
+	if workers > active {
+		workers = active
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range work {
+				r.runShard(si, moves)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge in destination order, then sequential rollback
+	// of the moves whose receiver was full.
+	migrated := 0
+	for si := 0; si < n; si++ {
+		sh := &r.shards[si]
+		if sh.err != nil {
+			return 0, sh.err
+		}
+		if len(sh.moves) == 0 {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			r.migEnergy[d] += sh.energy[d]
+			r.migBytes[d] += sh.bytes[d]
+			r.migIn[d] += sh.in[d]
+			r.migOut[d] += sh.out[d]
+		}
+		migrated += len(sh.executed)
+		for _, mi := range sh.failed {
+			mv := &moves[mi]
+			fromIdx := r.dcIndex[mv.From]
+			if _, err := r.managers[fromIdx].Place(mv.VM); err != nil {
+				return 0, fmt.Errorf("emul: lost VM %s: %v", mv.VM.ID, err)
+			}
+		}
+	}
+
+	// Apply the executed moves to the maintained fleets: compact the
+	// donors first, then append-and-sort the receivers.
+	clear(r.movedOut)
+	for si := 0; si < n; si++ {
+		for _, mi := range r.shards[si].executed {
+			mv := &moves[mi]
+			r.movedOut[mv.VM.ID] = struct{}{}
+			r.home[r.vmIndex[mv.VM.ID]] = si
+		}
+	}
+	for d := 0; d < n; d++ {
+		if r.migOut[d] > 0 {
+			kept := r.fleets[d][:0]
+			for _, machine := range r.fleets[d] {
+				if _, gone := r.movedOut[machine.ID]; !gone {
+					kept = append(kept, machine)
+				}
+			}
+			r.fleets[d] = kept
+		}
+	}
+	for si := 0; si < n; si++ {
+		for _, mi := range r.shards[si].executed {
+			r.fleets[si] = append(r.fleets[si], moves[mi].VM)
+		}
+	}
+	for d := 0; d < n; d++ {
+		if r.migIn[d] > 0 {
+			sortFleet(r.fleets[d])
+		}
+	}
+	return migrated, nil
+}
+
+// runShard executes one destination's moves in schedule order.  It touches
+// only shard-owned accumulators, the destination's manager (owned by this
+// shard for the round), donor managers (Remove only, which is choice-free
+// and commutative) and read-only GDFS metadata, so shards are data-race
+// free and order-independent.
+func (r *Runner) runShard(si int, moves []sched.Migration) {
+	sh := &r.shards[si]
+	for d := range sh.energy {
+		sh.energy[d] = 0
+		sh.bytes[d] = 0
+		sh.in[d] = 0
+		sh.out[d] = 0
+	}
+	for _, mi := range sh.moves {
+		mv := &moves[mi]
+		fromIdx := r.dcIndex[mv.From]
+		machine, err := r.managers[fromIdx].Remove(mv.VM.ID)
+		if err != nil {
+			sh.err = err
+			return
+		}
+		if _, err := r.managers[si].Place(machine); err != nil {
+			// Receiver full: roll the move back after the join.
+			sh.failed = append(sh.failed, mi)
+			continue
+		}
+		pendingBytes, err := r.clients[fromIdx].PendingMigrationBytes(r.vmPaths[r.vmIndex[machine.ID]], gdfs.WorkerID(mv.To))
+		if err != nil {
+			sh.err = err
+			return
+		}
+		result, err := migrate.Simulate(migrate.Plan{
+			VM:          machine,
+			From:        mv.From,
+			To:          mv.To,
+			DirtyDiskMB: float64(pendingBytes) / (1 << 20),
+		}, r.network, migrate.Options{EpochHours: r.cfg.MigrationFraction})
+		if err != nil {
+			sh.err = err
+			return
+		}
+		// The conservative accounting charges the migration at both ends
+		// for MigrationFraction of the epoch.
+		sh.energy[fromIdx] += result.ConservativeEnergyKWh
+		sh.energy[si] += result.ConservativeEnergyKWh
+		sh.bytes[fromIdx] += int64(result.TransferredMB * (1 << 20))
+		sh.in[si]++
+		sh.out[fromIdx]++
+		sh.executed = append(sh.executed, mi)
+	}
 }

@@ -103,6 +103,10 @@ func (c *Cluster) ReplicateOnce() int {
 }
 
 // copyBlock copies one block between workers and commits the new replica.
+// It takes the cheapest path the two stores support: metadata-to-metadata
+// replication moves a BlockMeta record and no bytes; a borrowable source
+// lends its buffer to the destination's WriteBlock (one copy instead of
+// two); otherwise it falls back to ReadBlock+WriteBlock.
 func (c *Cluster) copyBlock(id BlockID, from, to WorkerID) error {
 	src, err := c.store(from)
 	if err != nil {
@@ -111,6 +115,26 @@ func (c *Cluster) copyBlock(id BlockID, from, to WorkerID) error {
 	dst, err := c.store(to)
 	if err != nil {
 		return err
+	}
+	if msrc, ok := src.(metaSource); ok {
+		if msink, ok := dst.(metaSink); ok {
+			m, ok := msrc.BlockMeta(id)
+			if !ok {
+				return fmt.Errorf("%w: block %d on worker %s", ErrBlockNotFound, id, from)
+			}
+			if err := msink.PutBlockMeta(id, m); err != nil {
+				return err
+			}
+			return c.master.CommitReplica(id, to)
+		}
+	}
+	if bsrc, ok := src.(borrowReader); ok {
+		if err := bsrc.borrowBlock(id, func(data []byte) error {
+			return dst.WriteBlock(id, data)
+		}); err != nil {
+			return err
+		}
+		return c.master.CommitReplica(id, to)
 	}
 	data, err := src.ReadBlock(id)
 	if err != nil {
@@ -124,9 +148,16 @@ func (c *Cluster) copyBlock(id BlockID, from, to WorkerID) error {
 
 // Client is a GDFS client bound to one datacenter: writes go to the local
 // worker first, reads prefer the local replica.
+//
+// A Client is safe for concurrent use except DirtyBlock, whose reusable
+// zero buffer makes it single-goroutine (one client per emulation
+// datacenter, dirty writes issued from the hour loop).
 type Client struct {
 	cluster *Cluster
 	local   WorkerID
+	// zero is the reusable all-zero buffer DirtyBlock writes through
+	// payload stores, allocated once per client instead of per block.
+	zero []byte
 }
 
 // NewClient returns a client whose local worker is the given one.
@@ -138,7 +169,9 @@ func (c *Cluster) NewClient(local WorkerID) (*Client, error) {
 }
 
 // Create adds a file of the given size filled with zeroes, with its primary
-// replicas on the client's local worker.
+// replicas on the client's local worker.  Stores that support metadata
+// registration (all in-process stores) make this O(blocks), not O(bytes);
+// remote stores fall back to writing pooled zero buffers.
 func (cl *Client) Create(path string, size int64) (*FileInfo, error) {
 	fi, err := cl.cluster.master.Create(path, size, cl.local)
 	if err != nil {
@@ -148,16 +181,54 @@ func (cl *Client) Create(path string, size int64) (*FileInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, id := range fi.Blocks {
-		bSize := fi.BlockSize
-		if i == len(fi.Blocks)-1 && fi.Size%fi.BlockSize != 0 {
-			bSize = fi.Size % fi.BlockSize
+	if bc, ok := store.(blockCreator); ok {
+		for i, id := range fi.Blocks {
+			if err := bc.CreateBlock(id, fi.BlockSizeAt(i)); err != nil {
+				return nil, err
+			}
 		}
-		if err := store.WriteBlock(id, make([]byte, bSize)); err != nil {
+		return fi, nil
+	}
+	for i, id := range fi.Blocks {
+		if err := store.WriteBlock(id, cl.zeroBuf(fi.BlockSizeAt(i))); err != nil {
 			return nil, err
 		}
 	}
 	return fi, nil
+}
+
+// zeroBuf returns an all-zero buffer of length n, reused across calls.
+func (cl *Client) zeroBuf(n int64) []byte {
+	if int64(len(cl.zero)) < n {
+		cl.zero = make([]byte, n)
+	}
+	return cl.zero[:n]
+}
+
+// DirtyBlock overwrites one whole block of a file at the local datacenter
+// through the write-invalidate protocol without the caller materializing
+// payload bytes: metadata-plane stores record a version bump, payload
+// stores receive the client's reusable zero buffer.  fi must come from
+// Create or Stat; the write always covers the whole block, so no remote
+// fetch is ever needed.  This is the emulation's dirty-write hot path.
+func (cl *Client) DirtyBlock(fi *FileInfo, index int) error {
+	if index < 0 || index >= len(fi.Blocks) {
+		return fmt.Errorf("gdfs: block index %d out of range for %s", index, fi.Path)
+	}
+	id := fi.Blocks[index]
+	store, err := cl.cluster.store(cl.local)
+	if err != nil {
+		return err
+	}
+	size := fi.BlockSizeAt(index)
+	if bd, ok := store.(blockDirtier); ok {
+		if err := bd.DirtyBlock(id, size); err != nil {
+			return err
+		}
+	} else if err := store.WriteBlock(id, cl.zeroBuf(size)); err != nil {
+		return err
+	}
+	return cl.cluster.master.CommitWrite(id, cl.local)
 }
 
 // WriteBlock overwrites one block of a file through the write-invalidate
@@ -268,8 +339,7 @@ func (cl *Client) fetchBlock(id BlockID, loc *BlockInfo) error {
 // shipped to move its workload to the given datacenter right now (the blocks
 // whose replica there is stale or missing).
 func (cl *Client) PendingMigrationBytes(path string, dest WorkerID) (int64, error) {
-	_, bytes, err := cl.cluster.master.StaleBlocksOn(path, dest)
-	return bytes, err
+	return cl.cluster.master.StaleBytesOn(path, dest)
 }
 
 func containsWorker(list []WorkerID, id WorkerID) bool {

@@ -61,9 +61,18 @@ type FileInfo struct {
 	Modified  time.Time
 }
 
+// BlockSizeAt returns the size of block index i (the last block of a file
+// whose size is not a multiple of BlockSize is shorter).
+func (fi *FileInfo) BlockSizeAt(i int) int64 {
+	if i == len(fi.Blocks)-1 && fi.Size%fi.BlockSize != 0 {
+		return fi.Size % fi.BlockSize
+	}
+	return fi.BlockSize
+}
+
 // Master holds the namespace and block metadata and plans re-replication.
 type Master struct {
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	files       map[string]*FileInfo
 	blocks      map[BlockID]*blockMeta
 	workers     map[WorkerID]*workerMeta
@@ -71,6 +80,19 @@ type Master struct {
 	replication int
 	now         func() time.Time
 	closed      bool
+
+	// under indexes the blocks with at least one but fewer than
+	// `replication` valid replicas, so UnderReplicated plans over just
+	// those instead of scanning every block in the namespace.
+	under map[BlockID]struct{}
+	// workerList caches the sorted worker IDs (registration is rare,
+	// planning is hot).
+	workerList []WorkerID
+
+	// Planner scratch, reused across UnderReplicated calls (guarded by mu).
+	idScratch   []BlockID
+	destScratch []WorkerID
+	taskScratch []ReplicationTask
 }
 
 type blockMeta struct {
@@ -95,8 +117,26 @@ func NewMaster(replication int) *Master {
 		files:       make(map[string]*FileInfo),
 		blocks:      make(map[BlockID]*blockMeta),
 		workers:     make(map[WorkerID]*workerMeta),
+		under:       make(map[BlockID]struct{}),
 		replication: replication,
 		now:         time.Now,
+	}
+}
+
+// updateUnder reconciles the under-replication index for one block: a block
+// is under-replicated when it has at least one valid replica (someone to
+// copy from) but fewer than the target.
+func (m *Master) updateUnder(b *blockMeta) {
+	valid := 0
+	for _, v := range b.replicas {
+		if v {
+			valid++
+		}
+	}
+	if valid >= 1 && valid < m.replication {
+		m.under[b.id] = struct{}{}
+	} else {
+		delete(m.under, b.id)
 	}
 }
 
@@ -107,19 +147,20 @@ func (m *Master) RegisterWorker(id WorkerID, datacenter string) error {
 	if m.closed {
 		return ErrClosed
 	}
+	if _, ok := m.workers[id]; !ok {
+		m.workerList = append(m.workerList, id)
+		sort.Slice(m.workerList, func(i, j int) bool { return m.workerList[i] < m.workerList[j] })
+	}
 	m.workers[id] = &workerMeta{id: id, datacenter: datacenter}
 	return nil
 }
 
 // Workers returns the registered worker IDs sorted for determinism.
 func (m *Master) Workers() []WorkerID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]WorkerID, 0, len(m.workers))
-	for id := range m.workers {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]WorkerID, len(m.workerList))
+	copy(out, m.workerList)
 	return out
 }
 
@@ -150,7 +191,9 @@ func (m *Master) Create(path string, size int64, primary WorkerID) (*FileInfo, e
 		}
 		m.nextBlockID++
 		id := m.nextBlockID
-		m.blocks[id] = &blockMeta{id: id, size: bSize, replicas: map[WorkerID]bool{primary: true}}
+		b := &blockMeta{id: id, size: bSize, replicas: map[WorkerID]bool{primary: true}}
+		m.blocks[id] = b
+		m.updateUnder(b)
 		fi.Blocks = append(fi.Blocks, id)
 	}
 	m.files[path] = fi
@@ -159,8 +202,8 @@ func (m *Master) Create(path string, size int64, primary WorkerID) (*FileInfo, e
 
 // Stat returns the file's metadata.
 func (m *Master) Stat(path string) (*FileInfo, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	fi, ok := m.files[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, path)
@@ -178,6 +221,7 @@ func (m *Master) Delete(path string) error {
 	}
 	for _, b := range fi.Blocks {
 		delete(m.blocks, b)
+		delete(m.under, b)
 	}
 	delete(m.files, path)
 	return nil
@@ -185,8 +229,8 @@ func (m *Master) Delete(path string) error {
 
 // Files lists all paths in the namespace, sorted.
 func (m *Master) Files() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.files))
 	for p := range m.files {
 		out = append(out, p)
@@ -197,8 +241,8 @@ func (m *Master) Files() []string {
 
 // BlockLocations reports the block's replica state.
 func (m *Master) BlockLocations(id BlockID) (*BlockInfo, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.blockLocationsLocked(id)
 }
 
@@ -237,6 +281,7 @@ func (m *Master) CommitWrite(id BlockID, writer WorkerID) error {
 		b.replicas[w] = false
 	}
 	b.replicas[writer] = true
+	m.updateUnder(b)
 	return nil
 }
 
@@ -253,6 +298,7 @@ func (m *Master) CommitReplica(id BlockID, holder WorkerID) error {
 		return fmt.Errorf("%w: %s", ErrWorkerNotFound, holder)
 	}
 	b.replicas[holder] = true
+	m.updateUnder(b)
 	return nil
 }
 
@@ -267,52 +313,58 @@ type ReplicationTask struct {
 // target, together with a plan of copies that would fix them.  The planner
 // prefers destinations that already hold a stale replica (they are the
 // cheapest to refresh) and otherwise picks workers that hold no replica.
+// It iterates only the under-replication index, not the whole namespace.
+// The returned slice is scratch owned by the master, valid until the next
+// UnderReplicated call.
 func (m *Master) UnderReplicated() []ReplicationTask {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var tasks []ReplicationTask
-	ids := make([]BlockID, 0, len(m.blocks))
-	for id := range m.blocks {
+	ids := m.idScratch[:0]
+	for id := range m.under {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	workerIDs := make([]WorkerID, 0, len(m.workers))
-	for id := range m.workers {
-		workerIDs = append(workerIDs, id)
-	}
-	sort.Slice(workerIDs, func(i, j int) bool { return workerIDs[i] < workerIDs[j] })
+	m.idScratch = ids
 
+	tasks := m.taskScratch[:0]
 	for _, id := range ids {
 		b := m.blocks[id]
-		var valid, stale, absent []WorkerID
-		for _, w := range workerIDs {
+		// The index guarantees 1 <= valid < replication.
+		valid := 0
+		var source WorkerID
+		dests := m.destScratch[:0]
+		for _, w := range m.workerList { // stale holders first (cheapest refresh)
 			v, ok := b.replicas[w]
 			switch {
 			case ok && v:
-				valid = append(valid, w)
+				if valid == 0 {
+					source = w
+				}
+				valid++
 			case ok:
-				stale = append(stale, w)
-			default:
-				absent = append(absent, w)
+				dests = append(dests, w)
 			}
 		}
-		if len(valid) == 0 || len(valid) >= m.replication {
-			continue
+		for _, w := range m.workerList { // then workers holding no replica
+			if _, ok := b.replicas[w]; !ok {
+				dests = append(dests, w)
+			}
 		}
-		need := m.replication - len(valid)
-		dests := append(append([]WorkerID{}, stale...), absent...)
+		m.destScratch = dests
+		need := m.replication - valid
 		for i := 0; i < need && i < len(dests); i++ {
-			tasks = append(tasks, ReplicationTask{Block: id, Source: valid[0], Dest: dests[i]})
+			tasks = append(tasks, ReplicationTask{Block: id, Source: source, Dest: dests[i]})
 		}
 	}
+	m.taskScratch = tasks
 	return tasks
 }
 
 // StaleBlocksOn returns the blocks of a file whose replica on the given
 // worker is stale or missing — exactly the data a VM migration must ship.
 func (m *Master) StaleBlocksOn(path string, worker WorkerID) ([]BlockID, int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	fi, ok := m.files[path]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrFileNotFound, path)
@@ -327,6 +379,26 @@ func (m *Master) StaleBlocksOn(path string, worker WorkerID) ([]BlockID, int64, 
 		}
 	}
 	return out, bytes, nil
+}
+
+// StaleBytesOn is StaleBlocksOn without materializing the block list — the
+// allocation-free path behind Client.PendingMigrationBytes, safe to call
+// concurrently from the migration pipeline's shards.
+func (m *Master) StaleBytesOn(path string, worker WorkerID) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	fi, ok := m.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	var bytes int64
+	for _, id := range fi.Blocks {
+		b := m.blocks[id]
+		if valid, ok := b.replicas[worker]; !ok || !valid {
+			bytes += b.size
+		}
+	}
+	return bytes, nil
 }
 
 // Close marks the master closed; subsequent mutations fail.

@@ -1,0 +1,277 @@
+package gdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// planePair is one cluster per data plane, driven through identical op
+// sequences so every externally visible counter can be compared.
+type planePair struct {
+	payload, meta               *Cluster
+	payloadClients, metaClients []*Client
+	workers                     []WorkerID
+}
+
+func newPlanePair(t *testing.T, nWorkers, replication int) *planePair {
+	t.Helper()
+	p := &planePair{
+		payload: NewCluster(NewMaster(replication)),
+		meta:    NewCluster(NewMaster(replication)),
+	}
+	for i := 0; i < nWorkers; i++ {
+		id := WorkerID(fmt.Sprintf("dc-%d", i))
+		p.workers = append(p.workers, id)
+		if err := p.payload.AddWorker(NewWorker(id), string(id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.meta.AddWorker(NewMetaWorker(id), string(id)); err != nil {
+			t.Fatal(err)
+		}
+		pc, err := p.payload.NewClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := p.meta.NewClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.payloadClients = append(p.payloadClients, pc)
+		p.metaClients = append(p.metaClients, mc)
+	}
+	return p
+}
+
+// check asserts the two planes agree on every externally visible counter:
+// per-worker BytesStored, per-block replica sets, the re-replication plan,
+// and pending-migration bytes for every (file, worker) pair.
+func (p *planePair) check(t *testing.T, label string) {
+	t.Helper()
+	for _, w := range p.workers {
+		ps, _ := p.payload.store(w)
+		ms, _ := p.meta.store(w)
+		if pb, mb := ps.BytesStored(), ms.BytesStored(); pb != mb {
+			t.Fatalf("%s: worker %s BytesStored payload=%d meta=%d", label, w, pb, mb)
+		}
+	}
+	pTasks := p.payload.Master().UnderReplicated()
+	mTasks := p.meta.Master().UnderReplicated()
+	if len(pTasks) != len(mTasks) {
+		t.Fatalf("%s: UnderReplicated payload=%d tasks meta=%d tasks", label, len(pTasks), len(mTasks))
+	}
+	for i := range pTasks {
+		if pTasks[i] != mTasks[i] {
+			t.Fatalf("%s: task %d payload=%+v meta=%+v", label, i, pTasks[i], mTasks[i])
+		}
+	}
+	for _, path := range p.payload.Master().Files() {
+		fi, err := p.payload.Master().Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range fi.Blocks {
+			pl, err := p.payload.Master().BlockLocations(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ml, err := p.meta.Master().BlockLocations(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(pl) != fmt.Sprint(ml) {
+				t.Fatalf("%s: block %d locations payload=%v meta=%v", label, id, pl, ml)
+			}
+		}
+		for wi, w := range p.workers {
+			pb, err := p.payloadClients[wi].PendingMigrationBytes(path, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, err := p.metaClients[wi].PendingMigrationBytes(path, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pb != mb {
+				t.Fatalf("%s: pending bytes to %s for %s payload=%d meta=%d", label, w, path, pb, mb)
+			}
+		}
+	}
+}
+
+// TestMetaPayloadEquivalence drives both planes through the emulation's op
+// mix — create, whole-block dirty writes, re-replication, pending-bytes
+// queries — with a seeded random schedule and asserts byte-for-byte equal
+// counters after every step.
+func TestMetaPayloadEquivalence(t *testing.T) {
+	p := newPlanePair(t, 3, 3)
+	rng := rand.New(rand.NewSource(7))
+
+	type file struct {
+		home     int
+		pfi, mfi *FileInfo
+	}
+	var files []file
+	sizes := []int64{DefaultBlockSize * 4, DefaultBlockSize*2 + 12345, 777, DefaultBlockSize * 16}
+	for i, size := range sizes {
+		home := i % len(p.workers)
+		path := fmt.Sprintf("/vm/%d/disk", i)
+		pfi, err := p.payloadClients[home].Create(path, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mfi, err := p.metaClients[home].Create(path, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, file{home: home, pfi: pfi, mfi: mfi})
+	}
+	p.check(t, "after create")
+
+	for round := 0; round < 30; round++ {
+		switch rng.Intn(3) {
+		case 0: // dirty a random block of a random file at its home
+			f := &files[rng.Intn(len(files))]
+			b := rng.Intn(len(f.pfi.Blocks))
+			if err := p.payloadClients[f.home].DirtyBlock(f.pfi, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.metaClients[f.home].DirtyBlock(f.mfi, b); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // the file "migrates": dirty writes start at a new home
+			f := &files[rng.Intn(len(files))]
+			f.home = rng.Intn(len(p.workers))
+		case 2: // background re-replication round
+			pc := p.payload.ReplicateOnce()
+			mc := p.meta.ReplicateOnce()
+			if pc != mc {
+				t.Fatalf("round %d: ReplicateOnce payload=%d meta=%d", round, pc, mc)
+			}
+		}
+		p.check(t, fmt.Sprintf("round %d", round))
+	}
+}
+
+// TestMetaPayloadEquivalenceConcurrent dirties disjoint files from
+// concurrent goroutines on both planes (run under -race by make test).
+// Per-file writers keep the final state deterministic, so the planes must
+// still agree counter-for-counter.
+func TestMetaPayloadEquivalenceConcurrent(t *testing.T) {
+	p := newPlanePair(t, 3, 3)
+	const nFiles = 8
+	type file struct {
+		home     int
+		pfi, mfi *FileInfo
+	}
+	files := make([]file, nFiles)
+	for i := range files {
+		home := i % len(p.workers)
+		path := fmt.Sprintf("/vm/%d/disk", i)
+		pfi, err := p.payloadClients[home].Create(path, DefaultBlockSize*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mfi, err := p.metaClients[home].Create(path, DefaultBlockSize*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = file{home: home, pfi: pfi, mfi: mfi}
+	}
+	p.payload.ReplicateOnce()
+	p.meta.ReplicateOnce()
+
+	var wg sync.WaitGroup
+	errs := make([]error, nFiles)
+	for i := range files {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := files[i]
+			// One writer per file with its own clients (DirtyBlock's zero
+			// buffer makes a Client single-goroutine); different files
+			// race only on the master's lock, not on any block.
+			pc, err := p.payload.NewClient(p.workers[f.home])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mc, err := p.meta.NewClient(p.workers[f.home])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for round := 0; round < 20; round++ {
+				b := (i + round) % len(f.pfi.Blocks)
+				if err := pc.DirtyBlock(f.pfi, b); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := mc.DirtyBlock(f.mfi, b); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc, mc := p.payload.ReplicateOnce(), p.meta.ReplicateOnce(); pc != mc {
+		t.Fatalf("ReplicateOnce payload=%d meta=%d", pc, mc)
+	}
+	p.check(t, "after concurrent dirtying")
+}
+
+// TestMetaWorkerReadIsMetadataOnly pins the one deliberate contract gap of
+// the metadata plane.
+func TestMetaWorkerReadIsMetadataOnly(t *testing.T) {
+	w := NewMetaWorker("dc-0")
+	if err := w.CreateBlock(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ReadBlock(1); !errors.Is(err, ErrMetadataOnly) {
+		t.Fatalf("want ErrMetadataOnly, got %v", err)
+	}
+}
+
+// TestWorkerCreateBlockLazyZero pins the payload worker's lazy zero blocks:
+// CreateBlock accounts the bytes without materializing them, and the first
+// ReadBlock returns real zeroes.
+func TestWorkerCreateBlockLazyZero(t *testing.T) {
+	w := NewWorker("dc-0")
+	if err := w.CreateBlock(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.BytesStored(); got != 100 {
+		t.Fatalf("BytesStored = %d, want 100", got)
+	}
+	data, err := w.ReadBlock(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 100 {
+		t.Fatalf("len = %d, want 100", len(data))
+	}
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	// borrowBlock must lend the shared zero payload without copying.
+	var borrowed int
+	if err := w.borrowBlock(1, func(data []byte) error {
+		borrowed = len(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if borrowed != 100 {
+		t.Fatalf("borrowed %d bytes, want 100", borrowed)
+	}
+}

@@ -18,6 +18,9 @@ import (
 type Predictor interface {
 	// Predict returns `horizon` hourly forecasts starting at `from`.
 	Predict(from, horizon int) ([]float64, error)
+	// PredictInto fills dst with len(dst) hourly forecasts starting at
+	// `from` without allocating — the emulation hot-loop entry point.
+	PredictInto(dst []float64, from int) error
 	// Name identifies the predictor in reports.
 	Name() string
 }
@@ -45,14 +48,25 @@ func (p *Perfect) Name() string { return "perfect" }
 
 // Predict implements Predictor.
 func (p *Perfect) Predict(from, horizon int) ([]float64, error) {
-	if err := checkArgs(len(p.Trace), from, horizon); err != nil {
-		return nil, err
+	if horizon <= 0 {
+		return nil, ErrBadHorizon
 	}
 	out := make([]float64, horizon)
-	for i := 0; i < horizon; i++ {
-		out[i] = p.Trace[(from+i)%len(p.Trace)]
+	if err := p.PredictInto(out, from); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// PredictInto implements Predictor.
+func (p *Perfect) PredictInto(dst []float64, from int) error {
+	if err := checkArgs(len(p.Trace), from, len(dst)); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = p.Trace[(from+i)%len(p.Trace)]
+	}
+	return nil
 }
 
 // Persistence predicts that the next hours will look exactly like the most
@@ -66,18 +80,29 @@ func (p *Persistence) Name() string { return "persistence" }
 
 // Predict implements Predictor.
 func (p *Persistence) Predict(from, horizon int) ([]float64, error) {
-	if err := checkArgs(len(p.Trace), from, horizon); err != nil {
-		return nil, err
+	if horizon <= 0 {
+		return nil, ErrBadHorizon
 	}
 	out := make([]float64, horizon)
-	for i := 0; i < horizon; i++ {
+	if err := p.PredictInto(out, from); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictInto implements Predictor.
+func (p *Persistence) PredictInto(dst []float64, from int) error {
+	if err := checkArgs(len(p.Trace), from, len(dst)); err != nil {
+		return err
+	}
+	for i := range dst {
 		idx := from + i - 24
 		for idx < 0 {
 			idx += len(p.Trace)
 		}
-		out[i] = p.Trace[idx%len(p.Trace)]
+		dst[i] = p.Trace[idx%len(p.Trace)]
 	}
-	return out, nil
+	return nil
 }
 
 // Diurnal predicts each future hour as the average of the same hour of day
@@ -92,15 +117,26 @@ func (d *Diurnal) Name() string { return "diurnal" }
 
 // Predict implements Predictor.
 func (d *Diurnal) Predict(from, horizon int) ([]float64, error) {
-	if err := checkArgs(len(d.Trace), from, horizon); err != nil {
+	if horizon <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, horizon)
+	if err := d.PredictInto(out, from); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// PredictInto implements Predictor.
+func (d *Diurnal) PredictInto(dst []float64, from int) error {
+	if err := checkArgs(len(d.Trace), from, len(dst)); err != nil {
+		return err
 	}
 	days := d.Days
 	if days <= 0 {
 		days = 7
 	}
-	out := make([]float64, horizon)
-	for i := 0; i < horizon; i++ {
+	for i := range dst {
 		target := from + i
 		sum, n := 0.0, 0
 		for day := 1; day <= days; day++ {
@@ -111,9 +147,9 @@ func (d *Diurnal) Predict(from, horizon int) ([]float64, error) {
 			sum += d.Trace[idx%len(d.Trace)]
 			n++
 		}
-		out[i] = sum / float64(n)
+		dst[i] = sum / float64(n)
 	}
-	return out, nil
+	return nil
 }
 
 // MeanAbsoluteError compares a predictor against the true trace over a window

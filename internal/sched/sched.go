@@ -144,6 +144,12 @@ func New(opts Options) *Scheduler {
 	return &Scheduler{opts: opts.withDefaults()}
 }
 
+// Reset drops the warm-start basis so the next Partition call solves cold,
+// while keeping the cached LP structure (it is shape-keyed and survives).
+// An emul.Runner reuses one Scheduler across emulation runs: the structure
+// may carry over, the basis must not leak between independent runs.
+func (s *Scheduler) Reset() { s.basis = nil }
+
 // Errors returned by the scheduler.
 var (
 	ErrNoDatacenters    = errors.New("sched: no datacenters")
@@ -448,7 +454,10 @@ func (s *Scheduler) MigrationSchedule(dcs []DatacenterState, placements map[stri
 		if donor.surplus <= 1e-9 {
 			continue
 		}
-		fleet := placements[donor.name].SortByFootprint()
+		fleet := placements[donor.name]
+		if !fleet.IsSortedByFootprint() {
+			fleet = fleet.SortByFootprint()
+		}
 		toShedW := donor.surplus * 1000
 
 		// Receivers closest to this donor first.

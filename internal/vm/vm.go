@@ -101,6 +101,19 @@ func (f Fleet) SortByFootprint() Fleet {
 	return out
 }
 
+// IsSortedByFootprint reports whether the fleet is already in the
+// (footprint, ID) order SortByFootprint produces, letting callers that
+// maintain sorted fleets skip the copy-and-sort.
+func (f Fleet) IsSortedByFootprint() bool {
+	for i := 1; i < len(f); i++ {
+		a, b := f[i-1].FootprintMB(), f[i].FootprintMB()
+		if a > b || (a == b && f[i-1].ID > f[i].ID) {
+			return false
+		}
+	}
+	return true
+}
+
 // SelectByPower picks VMs from the fleet (smallest footprint first) until
 // their combined power reaches powerW, returning the selection.  It mirrors
 // how a donor datacenter chooses which VMs to migrate out to shed a given
