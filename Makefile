@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: ci vet lint fmt-check build test test-faults cover bench-smoke bench-check bench
+.PHONY: ci vet lint fmt-check build test test-faults cover bench-smoke bench-check bench profile
 
 ci: vet build test test-faults bench-smoke
 
@@ -79,7 +79,11 @@ cover:
 # Fig. 15 from gigabytes of allocation to megabytes); running them here
 # catches a benchmark-only breakage (setup drift, catalog changes, a basis
 # that stops translating) in `make ci` instead of the full sweep.
-BENCH_SMOKE := ^(BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkEmulDay)$$
+# BenchmarkCalibration is the machine-speed probe benchjson -calibrate
+# normalizes by, and BenchmarkLPPricing keeps the pricing-rule A/B (and its
+# pivots/op metric) compiling and running — all three sub-benchmarks at
+# -benchtime=1x cost a few milliseconds.
+BENCH_SMOKE := ^(BenchmarkCalibration|BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkLPPricing|BenchmarkEmulDay)$$
 
 bench-smoke:
 	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' .
@@ -88,9 +92,12 @@ bench-smoke:
 # writing a new one (benchjson -check-only), so a CI runner can surface the
 # deltas without ever polluting the BENCH_*.json trajectory.  One-shot
 # measurements are reported but never gated (see cmd/benchjson), so this
-# target fails only on parse/run failures, not machine noise.
+# target fails only on parse/run failures, not machine noise.  -calibrate
+# normalizes the ns/op deltas by the BenchmarkCalibration ratio between the
+# two snapshots, so a CI runner on different hardware diffs speedups, not
+# machines.
 bench-check:
-	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchjson -check-only -baseline latest
+	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' . | $(GO) run ./cmd/benchjson -check-only -calibrate -baseline latest
 
 # Full benchmark sweep (regenerates every paper figure; slow).  The output
 # is snapshotted into BENCH_<date>.json so the performance trajectory is
@@ -99,4 +106,15 @@ bench-check:
 # suffixed sibling instead) and diffs against the latest committed snapshot,
 # failing the target when any benchmark regresses by more than 10% ns/op.
 bench:
-	$(GO) test -bench=. -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json -baseline latest
+	$(GO) test -bench=. -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json -calibrate -baseline latest
+
+# CPU and heap profiles of the scheduler's end-to-end compute-time benchmark
+# (the optimization loop the paper's Fig. 14 measures), written under
+# profile/ (gitignored) for `go tool pprof profile/cpu.out`.  This is the
+# entry point the devex/partial-pricing work was profiled with; keeping it a
+# target makes the next perf investigation a one-liner.
+profile:
+	mkdir -p profile
+	$(GO) test -bench='^BenchmarkSchedulerComputeTime$$' -benchtime=5x -run '^$$' \
+		-cpuprofile profile/cpu.out -memprofile profile/mem.out -o profile/bench.test .
+	@echo "profiles in profile/: go tool pprof profile/bench.test profile/cpu.out"

@@ -36,6 +36,34 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 	return suite
 }
 
+// calibrationSink keeps the calibration loop's result live so the compiler
+// cannot elide the work.
+var calibrationSink uint64
+
+// BenchmarkCalibration is a machine-speed probe: every op runs the same
+// fixed amount of pure arithmetic — an integer xorshift feeding a bounded
+// floating-point accumulator — with no allocations, no memory traffic
+// beyond registers, and no solver code.  Its ns/op therefore tracks only
+// how fast the current machine executes compute, which is exactly the
+// normalization benchjson's -calibrate flag needs to compare snapshots
+// taken on heterogeneous runners: a workload benchmark that got 20% slower
+// while Calibration also got 20% slower is a slower machine, not a slower
+// program.
+func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		f := 0.0
+		for n := 0; n < 1<<16; n++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			f = f*0.5 + float64(x>>40)
+		}
+		calibrationSink = x + uint64(f)
+	}
+}
+
 // runExperiment benchmarks one table/figure generator and reports its rows
 // as a sanity check (an empty table means the experiment silently produced
 // nothing).
@@ -470,6 +498,40 @@ func BenchmarkLPBounded(b *testing.B) {
 		if _, err := prob.Solve(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLPPricing A/B-tests the three pricing rules on a cold solve of
+// the scheduler-shaped partition LP.  Each sub-benchmark reports pivots/op
+// alongside ns/op, so a pricing change shows up both as wall-clock and as
+// iteration count; the devex/dantzig gap is the payoff of reference-weight
+// steepest-edge approximation, the dantzig/bland gap the cost of the
+// anti-cycling fallback if it were the primary rule.
+func BenchmarkLPPricing(b *testing.B) {
+	rules := []struct {
+		name string
+		rule lp.PricingRule
+	}{
+		{"devex", lp.PricingDevex},
+		{"dantzig", lp.PricingDantzig},
+		{"bland", lp.PricingBland},
+	}
+	for _, r := range rules {
+		b.Run(r.name, func(b *testing.B) {
+			prob := partitionLP(b, lpBenchDCs, lpBenchHorizon, 0)
+			opts := lp.SolveOptions{Pricing: r.rule}
+			pivots := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := prob.SolveWithOptions(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots = sol.Stats.Pivots
+			}
+			b.ReportMetric(float64(pivots), "pivots/op")
+		})
 	}
 }
 

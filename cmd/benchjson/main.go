@@ -23,6 +23,13 @@
 //     back).  A failed benchmark run is never snapshotted at all, so a
 //     crash cannot poison the baseline chain.
 //
+// With -calibrate the ns/op diff is normalized by the ratio of the two
+// snapshots' BenchmarkCalibration results (a fixed-work, allocation-free
+// machine-speed probe): a runner that is uniformly 20% slower than the
+// baseline's machine does not read as twenty percent of regressions, and a
+// uniformly faster one cannot mask a real slowdown.  The probe itself is
+// never gated, and a snapshot missing it simply disables the normalization.
+//
 // With -check-only the snapshot is parsed and diffed but never written:
 // the mode CI runs on the smoke benchmarks (`make bench-check`), where the
 // deltas are wanted but a throwaway runner's numbers must not enter the
@@ -79,6 +86,8 @@ func main() {
 		"previous snapshot to diff against, or \"latest\" for the newest BENCH_*.json next to -out; exits non-zero on >10% ns/op regressions")
 	checkOnly := flag.Bool("check-only", false,
 		"diff against -baseline without writing a snapshot; -out only locates the snapshot directory")
+	calibrate := flag.Bool("calibrate", false,
+		"normalize the ns/op diff by the BenchmarkCalibration ratio of the two snapshots, so a uniformly slower/faster machine does not read as a code regression")
 	flag.Parse()
 	if *out == "" && !*checkOnly {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -162,7 +171,7 @@ func main() {
 	regressed := false
 	if basePath != "" {
 		var err error
-		regressed, err = diffAgainst(basePath, snap)
+		regressed, err = diffAgainst(basePath, snap, *calibrate)
 		if err != nil {
 			if *baseline == "latest" {
 				// An auto-resolved baseline that turns out unreadable (e.g.
@@ -287,10 +296,31 @@ func committedSnapshots(dir string) ([]string, bool) {
 // one-shot benchmark is a real regression, not noise.
 const lowNAllocFactor = 10.0
 
+// calibrationBenchmark is the machine-speed probe diffAgainst uses to
+// normalize deltas under -calibrate (see BenchmarkCalibration in the
+// repository root).
+const calibrationBenchmark = "BenchmarkCalibration"
+
+// calibrationScale returns the factor by which the current machine is
+// slower (>1) or faster (<1) than the baseline's, measured by the
+// calibration probe present in both snapshots, or 1 with ok=false when
+// either side lacks a usable probe.
+func calibrationScale(base, snap Snapshot) (float64, bool) {
+	b, okB := base.Benchmarks[calibrationBenchmark]
+	n, okN := snap.Benchmarks[calibrationBenchmark]
+	if !okB || !okN || b.NsPerOp <= 0 || n.NsPerOp <= 0 {
+		return 1, false
+	}
+	return n.NsPerOp / b.NsPerOp, true
+}
+
 // diffAgainst prints the per-benchmark deltas of snap versus the baseline
 // file and reports whether any shared benchmark regressed by more than the
-// threshold in ns/op, bytes/op or allocs/op.
-func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
+// threshold in ns/op, bytes/op or allocs/op.  With calibrate, ns/op deltas
+// are first normalized by the BenchmarkCalibration ratio of the two
+// snapshots, so a uniformly slower machine does not read as a regression
+// (and a uniformly faster one does not mask a real regression).
+func diffAgainst(path string, snap Snapshot, calibrate bool) (regressed bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return false, err
@@ -298,6 +328,17 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 	var base Snapshot
 	if err := json.Unmarshal(data, &base); err != nil {
 		return false, fmt.Errorf("parse %s: %w", path, err)
+	}
+
+	scale := 1.0
+	if calibrate {
+		var ok bool
+		scale, ok = calibrationScale(base, snap)
+		if ok {
+			fmt.Fprintf(os.Stderr, "benchjson: calibration: this machine runs %.3fx the baseline's ns/op; normalizing\n", scale)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: calibration: %s missing from a snapshot; diff not normalized\n", calibrationBenchmark)
+		}
 	}
 
 	names := make([]string, 0, len(snap.Benchmarks))
@@ -312,12 +353,15 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 	var regressions []string
 	for _, name := range names {
 		oldRes, newRes := base.Benchmarks[name], snap.Benchmarks[name]
+		if calibrate && name == calibrationBenchmark {
+			continue // the yardstick itself is never gated
+		}
 		lowN := oldRes.N < minGateIterations || newRes.N < minGateIterations
 		old, now := oldRes.NsPerOp, newRes.NsPerOp
 		if old <= 0 {
 			continue
 		}
-		delta := (now - old) / old
+		delta := (now - old*scale) / (old * scale)
 		marker := ""
 		if delta > regressionThreshold {
 			if lowN {
@@ -329,7 +373,7 @@ func diffAgainst(path string, snap Snapshot) (regressed bool, err error) {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "  %-32s %14.0f -> %14.0f ns/op  %+6.1f%%%s\n",
-			name, old, now, 100*delta, marker)
+			name, old*scale, now, 100*delta, marker)
 
 		// Allocation metrics, printed only when they move past the
 		// threshold so the diff stays readable.  Same iteration guard as

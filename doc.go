@@ -240,6 +240,15 @@
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; `make bench` snapshots them into a BENCH_<date>.json
-// so the performance trajectory is tracked per PR.  See DESIGN.md for the
-// experiment index and EXPERIMENTS.md for measured-versus-paper results.
+// so the performance trajectory is tracked per PR.  BenchmarkCalibration is
+// a fixed-work machine-speed probe recorded in every snapshot: benchjson
+// -calibrate divides cross-snapshot ns/op deltas by the probe's ratio, so
+// diffs taken on a different machine compare code, not hardware.
+// BenchmarkLPPricing A/Bs the simplex pricing rules (devex, Dantzig,
+// Bland) on the scheduler-shaped partition LP and reports pivots/op next
+// to ns/op.  `make profile` writes CPU and heap profiles of
+// BenchmarkSchedulerComputeTime — the end-to-end optimization loop — into
+// the gitignored profile/ directory for `go tool pprof`.  See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for measured-versus-paper
+// results.
 package greencloud

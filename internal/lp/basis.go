@@ -22,11 +22,22 @@ import "math"
 type Basis struct {
 	cols  []colIdent // basic column of row i, one per constraint
 	upper []colIdent // nonbasic columns at their upper bound
+
+	// Devex reference weights learned by the capturing solve, keyed like
+	// everything else by column identity so they survive re-standardization.
+	// Only weights above the unit reset value are stored (1 is what a fresh
+	// framework assigns anyway), and a warm start under a non-devex rule
+	// simply ignores them.
+	devexCols []colIdent
+	devexW    []float64
 }
 
-// captureBasis records the current basis and nonbasic-at-upper statuses of
-// this standard form.
-func (s *standard) captureBasis(basis []int, atUpper []bool) *Basis {
+// captureBasis records the current basis, nonbasic-at-upper statuses and
+// (under devex) learned reference weights of this standard form.  The
+// weights arrive in sparse form — standard-form column indices paired with
+// their >1 values — so a warm solve that never materialized a dense weight
+// vector passes its carried entries through at O(entries), not O(columns).
+func (s *standard) captureBasis(basis []int, atUpper []bool, devexCols []int, devexW []float64) *Basis {
 	b := &Basis{cols: make([]colIdent, s.m)}
 	for i, bc := range basis {
 		b.cols[i] = s.colIDs[bc]
@@ -36,22 +47,35 @@ func (s *standard) captureBasis(basis []int, atUpper []bool) *Basis {
 			b.upper = append(b.upper, s.colIDs[j])
 		}
 	}
+	if len(devexCols) > 0 {
+		b.devexCols = make([]colIdent, 0, len(devexCols))
+		b.devexW = make([]float64, 0, len(devexCols))
+		for k, c := range devexCols {
+			if wv := devexW[k]; wv > 1 && c < s.nCols {
+				b.devexCols = append(b.devexCols, s.colIDs[c])
+				b.devexW = append(b.devexW, wv)
+			}
+		}
+	}
 	return b
 }
 
 // installBasis maps a saved basis onto this standard form, returning one
-// basic column per row plus the nonbasic-at-upper statuses, or false when
-// the saved basis does not translate: the constraint count changed, a
-// referenced column no longer exists (a variable stopped being free, the
-// row lost its artificial after an rhs sign change) or two rows map to the
-// same column.  At-upper statuses degrade instead of failing: a status
-// whose column disappeared, became basic, lost its finite upper bound or
-// became fixed simply starts at the lower bound — the warm solver's
-// feasibility checks route any resulting mismatch to the dual simplex or
-// the cold fallback.
-func (s *standard) installBasis(w *Basis) ([]int, []bool, bool) {
+// basic column per row plus the nonbasic-at-upper statuses and any carried
+// devex reference weights in sparse form (nil when the basis carries none;
+// weights share the one identity map this translation builds anyway), or
+// false when the saved basis does not translate: the constraint count
+// changed, a referenced column no longer exists (a variable stopped being
+// free, the row lost its artificial after an rhs sign change) or two rows
+// map to the same column.  At-upper statuses degrade instead of failing: a
+// status whose column disappeared, became basic, lost its finite upper
+// bound or became fixed simply starts at the lower bound — the warm
+// solver's feasibility checks route any resulting mismatch to the dual
+// simplex or the cold fallback.  Weights degrade the same way: an identity
+// that no longer resolves is dropped.
+func (s *standard) installBasis(w *Basis) ([]int, []bool, []int, []float64, bool) {
 	if w == nil || s.m == 0 || len(w.cols) != s.m {
-		return nil, nil, false
+		return nil, nil, nil, nil, false
 	}
 	colOf := make(map[colIdent]int, s.nCols)
 	for c := 0; c < s.nCols; c++ {
@@ -62,7 +86,7 @@ func (s *standard) installBasis(w *Basis) ([]int, []bool, bool) {
 	for i := 0; i < s.m; i++ {
 		c, ok := colOf[w.cols[i]]
 		if !ok || used[c] {
-			return nil, nil, false
+			return nil, nil, nil, nil, false
 		}
 		used[c] = true
 		basis[i] = c
@@ -78,5 +102,26 @@ func (s *standard) installBasis(w *Basis) ([]int, []bool, bool) {
 		}
 		atUpper[c] = true
 	}
-	return basis, atUpper, true
+	var dvxCols []int
+	var dvxW []float64
+	if len(w.devexW) > 0 {
+		if s.scr != nil {
+			s.scr.carriedIdx = growInts(s.scr.carriedIdx, len(w.devexW))
+			s.scr.carriedW = growFloats(s.scr.carriedW, len(w.devexW))
+			dvxCols = s.scr.carriedIdx[:0]
+			dvxW = s.scr.carriedW[:0]
+		} else {
+			dvxCols = make([]int, 0, len(w.devexW))
+			dvxW = make([]float64, 0, len(w.devexW))
+		}
+		for k, cid := range w.devexCols {
+			if c, ok := colOf[cid]; ok {
+				if wv := w.devexW[k]; wv > 1 {
+					dvxCols = append(dvxCols, c)
+					dvxW = append(dvxW, wv)
+				}
+			}
+		}
+	}
+	return basis, atUpper, dvxCols, dvxW, true
 }

@@ -369,3 +369,178 @@ func TestSolveFromStaleBasisFallsBack(t *testing.T) {
 		t.Errorf("objective = %v, want 36", sol.Objective)
 	}
 }
+
+// randomProblemDegenerate draws a degeneracy-heavy instance: small-integer
+// coefficients and costs (many exact ties in pricing), duplicated and
+// scaled-duplicate rows (redundant constraints that put several basic
+// values at zero), and frequent zero right-hand sides.  This is the family
+// where pricing rules genuinely diverge — Dantzig stalls on ties that
+// devex's reference weights break, and Bland grinds through them by index —
+// so it is the family the cross-rule differential must lean on.
+func randomProblemDegenerate(rng *rand.Rand) *Problem {
+	sense := Minimize
+	if rng.Intn(2) == 0 {
+		sense = Maximize
+	}
+	p := NewProblem(sense)
+	nVars := 3 + rng.Intn(10)
+	vars := make([]Var, nVars)
+	for j := 0; j < nVars; j++ {
+		ub := Infinity
+		if rng.Intn(3) != 0 {
+			ub = float64(1 + rng.Intn(4))
+		}
+		// Integer costs from a tiny set: exact pricing ties by design.
+		vars[j] = p.MustVariable("x", 0, ub, float64(rng.Intn(4)-1))
+	}
+	nCons := 2 + rng.Intn(8)
+	type row struct {
+		terms []Term
+		op    Op
+		rhs   float64
+	}
+	var rows []row
+	for i := 0; i < nCons; i++ {
+		if len(rows) > 0 && rng.Intn(3) == 0 {
+			// Duplicate (sometimes scaled) an earlier row: redundant
+			// constraints leave ties in the ratio test, the classic source
+			// of degenerate vertices.
+			src := rows[rng.Intn(len(rows))]
+			scale := float64(1 + rng.Intn(2))
+			terms := make([]Term, len(src.terms))
+			for k, tm := range src.terms {
+				terms[k] = Term{tm.Var, tm.Coeff * scale}
+			}
+			rows = append(rows, row{terms, src.op, src.rhs * scale})
+			continue
+		}
+		terms := make([]Term, 0, nVars)
+		for j := 0; j < nVars; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			terms = append(terms, Term{vars[j], float64(rng.Intn(3))})
+		}
+		rhs := float64(rng.Intn(6))
+		if rng.Intn(3) == 0 {
+			rhs = 0 // zero rhs: a vertex with basic values pinned at zero
+		}
+		rows = append(rows, row{terms, Op(1 + rng.Intn(3)), rhs})
+	}
+	for _, r := range rows {
+		if err := p.AddConstraint("c", r.op, r.rhs, r.terms...); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// drawDifferentialProblem rotates through the three generator families so
+// the cross-rule suite covers the provisioning/partitioning mix, the
+// bound-heavy milp-relaxation shape, and the degenerate family.
+func drawDifferentialProblem(rng *rand.Rand, trial int) *Problem {
+	switch trial % 3 {
+	case 0:
+		return randomProblemShaped(rng, false)
+	case 1:
+		return randomProblemShaped(rng, true)
+	default:
+		return randomProblemDegenerate(rng)
+	}
+}
+
+// TestPricingRulesAgreeOnRandomLPs is the pricing tentpole's differential
+// pin: 600 randomized LPs — a third of them degenerate-heavy — solved under
+// devex, Dantzig and Bland must agree on Status everywhere and on the
+// optimal objective to 1e-9 (relative); each rule's claimed-optimal point
+// must satisfy the model directly (degenerate instances have alternative
+// optima, so values may differ — objectives may not).
+func TestPricingRulesAgreeOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	rules := []struct {
+		name string
+		rule PricingRule
+	}{{"devex", PricingDevex}, {"dantzig", PricingDantzig}, {"bland", PricingBland}}
+	statuses := map[Status]int{}
+	pivots := make([]int, len(rules))
+	degPivots := make([]int, len(rules))
+	for trial := 0; trial < 600; trial++ {
+		p := drawDifferentialProblem(rng, trial)
+		sols := make([]*Solution, len(rules))
+		for k, r := range rules {
+			sol, err := p.SolveWithOptions(SolveOptions{Pricing: r.rule})
+			if err != nil && !errors.Is(err, ErrInfeasible) && !errors.Is(err, ErrUnbounded) {
+				t.Fatalf("trial %d: %s: %v", trial, r.name, err)
+			}
+			if sol == nil {
+				t.Fatalf("trial %d: %s: nil solution", trial, r.name)
+			}
+			sols[k] = sol
+			pivots[k] += sol.Stats.Pivots
+			if trial%3 == 2 {
+				degPivots[k] += sol.Stats.Pivots
+			}
+		}
+		ref := sols[0]
+		statuses[ref.Status]++
+		for k, r := range rules[1:] {
+			if sols[k+1].Status != ref.Status {
+				t.Fatalf("trial %d: %s status %v, devex status %v",
+					trial, r.name, sols[k+1].Status, ref.Status)
+			}
+		}
+		if ref.Status != Optimal {
+			continue
+		}
+		for k, r := range rules {
+			tol := 1e-9 * math.Max(1, math.Abs(ref.Objective))
+			if math.Abs(sols[k].Objective-ref.Objective) > tol {
+				t.Fatalf("trial %d: %s objective %v, devex %v (tol %v)",
+					trial, r.name, sols[k].Objective, ref.Objective, tol)
+			}
+			checkModelFeasible(t, trial, p, sols[k])
+		}
+	}
+	for _, st := range []Status{Optimal, Infeasible, Unbounded} {
+		if statuses[st] == 0 {
+			t.Fatalf("generator produced no %v problems (distribution %v)", st, statuses)
+		}
+	}
+	t.Logf("pivots devex=%d dantzig=%d bland=%d (degenerate family: devex=%d dantzig=%d bland=%d)",
+		pivots[0], pivots[1], pivots[2], degPivots[0], degPivots[1], degPivots[2])
+}
+
+// TestDevexSolveTwiceBitIdentical pins determinism: the devex framework
+// (weight updates, candidate rotation, fused pricing) must not introduce
+// any run-to-run variation — two cold solves of the same problem must take
+// the same pivot path and produce bit-identical objectives and values.
+func TestDevexSolveTwiceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(16180))
+	for trial := 0; trial < 120; trial++ {
+		p := drawDifferentialProblem(rng, trial)
+		a, errA := p.Solve()
+		b, errB := p.Solve()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: first err %v, second err %v", trial, errA, errB)
+		}
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v then %v", trial, a.Status, b.Status)
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("trial %d: stats %+v then %+v", trial, a.Stats, b.Stats)
+		}
+		if a.Status != Optimal {
+			continue
+		}
+		if a.Objective != b.Objective {
+			t.Fatalf("trial %d: objective %v then %v (must be bit-identical)",
+				trial, a.Objective, b.Objective)
+		}
+		va, vb := a.Values(), b.Values()
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatalf("trial %d: value[%d] %v then %v", trial, j, va[j], vb[j])
+			}
+		}
+	}
+}

@@ -263,3 +263,40 @@ func TestFaultRecoveryMatchesCleanSolve(t *testing.T) {
 		t.Errorf("faulted solve objective %v != clean %v", dirty.Objective, clean.Objective)
 	}
 }
+
+// TestStallLatchReleasesBackToDevex drives the full stall round-trip under
+// the default devex rule: the forced stall latches Bland's rule (counted in
+// BlandSwitches), and the first strictly-improving pivot afterwards releases
+// the latch back to devex, restarting the reference framework — which is
+// observable as a DevexReset.  The same fault under Dantzig must latch
+// without touching any devex counter: the release path is rule-aware.
+func TestStallLatchReleasesBackToDevex(t *testing.T) {
+	disarmAfter(t)
+
+	ArmFault(FaultForceStall, 1, 1)
+	sol, err := transportLP(t).Solve()
+	if err != nil {
+		t.Fatalf("devex solve with forced stall: %v", err)
+	}
+	if !almostEqual(sol.Objective, transportOptimum, 1e-6) {
+		t.Errorf("objective = %v, want %v", sol.Objective, transportOptimum)
+	}
+	if sol.Stats.BlandSwitches != 1 {
+		t.Errorf("Stats.BlandSwitches = %d, want 1; stats %+v", sol.Stats.BlandSwitches, sol.Stats)
+	}
+	if sol.Stats.DevexResets == 0 {
+		t.Errorf("Stats.DevexResets = 0, want ≥ 1: releasing the stall latch must restart the devex framework; stats %+v", sol.Stats)
+	}
+
+	ArmFault(FaultForceStall, 1, 1)
+	dsol, err := transportLP(t).SolveWithOptions(SolveOptions{Pricing: PricingDantzig})
+	if err != nil {
+		t.Fatalf("dantzig solve with forced stall: %v", err)
+	}
+	if dsol.Stats.BlandSwitches != 1 {
+		t.Errorf("dantzig: Stats.BlandSwitches = %d, want 1; stats %+v", dsol.Stats.BlandSwitches, dsol.Stats)
+	}
+	if dsol.Stats.DevexResets != 0 {
+		t.Errorf("dantzig: Stats.DevexResets = %d, want 0: no devex framework exists to reset", dsol.Stats.DevexResets)
+	}
+}

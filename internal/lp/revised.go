@@ -96,11 +96,11 @@ func (e *etaFile) ftran(x []float64) {
 // btran applies the eta inverse transposes in reverse order: y ← Fₖ⁻ᵀ·y.
 func (e *etaFile) btran(y []float64) {
 	for k := len(e.pos) - 1; k >= 0; k-- {
+		// Unconditional multiply-add: y's zero pattern is data-dependent, so
+		// a skip branch mispredicts far more than the multiply it saves.
 		s := 0.0
 		for p := e.ptr[k]; p < e.ptr[k+1]; p++ {
-			if yv := y[e.idx[p]]; yv != 0 {
-				s += e.val[p] * yv
-			}
+			s += e.val[p] * y[e.idx[p]]
 		}
 		r := e.pos[k]
 		y[r] = (y[r] - s) / e.piv[k]
@@ -127,6 +127,13 @@ type solver struct {
 	reduced []float64 // maintained reduced costs, len nTotal
 	stale   int       // pivots since the last exact rebuild
 
+	// Pricing (pricing.go).  pr is the selected rule; dvx aliases it when
+	// the rule is devex (nil otherwise), for the devex-only hooks: the dual
+	// simplex's weighted leaving-row scan and the warm-start weight carry.
+	pricing PricingRule
+	pr      pricer
+	dvx     *devexPricer
+
 	sinceRefactor int
 
 	// Resilience state.
@@ -138,6 +145,11 @@ type solver struct {
 
 	// scratch, len m.
 	w, y, rowScratch []float64
+
+	// alpha is the pivot-update scratch, len nTotal: the scattered row
+	// alpha = Aᵀρ that the reduced-cost update, devex weight update and
+	// dual ratio test all read (see standard.scatterRows).
+	alpha []float64
 }
 
 func newSolver(std *standard, ctl *solveControl, stats *Stats) *solver {
@@ -145,7 +157,7 @@ func newSolver(std *standard, ctl *solveControl, stats *Stats) *solver {
 		stats = &Stats{}
 	}
 	m := std.m
-	return &solver{
+	s := &solver{
 		std:        std,
 		m:          m,
 		ctl:        ctl,
@@ -159,6 +171,32 @@ func newSolver(std *standard, ctl *solveControl, stats *Stats) *solver {
 		y:          make([]float64, m),
 		rowScratch: make([]float64, m),
 	}
+	if std.scr != nil {
+		s.alpha = growFloats(std.scr.alpha, std.nTotal)
+		std.scr.alpha = s.alpha
+	} else {
+		s.alpha = make([]float64, std.nTotal)
+	}
+	if ctl != nil {
+		s.pricing = ctl.pricing
+	}
+	switch s.pricing {
+	case PricingDantzig:
+		s.pr = dantzigPricer{}
+	case PricingBland:
+		// An explicit Bland selection rides the stall latch machinery for
+		// the whole solve: least-index pricing plus the exact
+		// smallest-index ratio test its termination guarantee needs.  The
+		// progress release is suppressed for this rule (see primal), and
+		// no BlandSwitch is counted — nothing switched.
+		s.pr = blandPricer{}
+		s.blandForced = true
+	default:
+		s.pricing = PricingDevex
+		s.dvx = newDevexPricer(std, std.nTotal > partialMinCols)
+		s.pr = s.dvx
+	}
+	return s
 }
 
 func (s *solver) setBasis(basis []int) {
@@ -297,6 +335,9 @@ func (s *solver) rebuildReduced() {
 		s.reduced[j] = s.cost[j] - s.std.colDot(j, dual)
 	}
 	s.stale = 0
+	if s.dvx != nil {
+		s.dvx.cached = cachedNone // the row changed under the fused pick
+	}
 }
 
 // pickEntering nominates the entering column from the maintained
@@ -388,16 +429,26 @@ func (s *solver) boundFlip(q int, w []float64) {
 func (s *solver) updateReducedAfterPivot(q int, p int, dq float64) {
 	rho := s.w // w's FTRAN contents are dead once the pivot is applied
 	s.btranUnit(p, rho)
+	alpha := s.alphaRow(rho)
 	for j := 0; j < s.std.nTotal; j++ {
-		if s.basic[j] {
-			continue
-		}
-		if alpha := s.std.colDot(j, rho); alpha != 0 {
-			s.reduced[j] -= dq * alpha
+		if a := alpha[j]; a != 0 && !s.basic[j] {
+			s.reduced[j] -= dq * a
 		}
 	}
 	s.reduced[q] = 0
 	s.stale++
+}
+
+// alphaRow computes alpha = Aᵀρ over the priced columns into the solver's
+// scratch via the row-major scatter, clearing it first.  The returned slice
+// is only valid until the next call.
+func (s *solver) alphaRow(rho []float64) []float64 {
+	alpha := s.alpha
+	for i := range alpha {
+		alpha[i] = 0
+	}
+	s.std.scatterRows(rho, alpha)
+	return alpha
 }
 
 // objective returns the active-cost objective over the basic values.  The
@@ -461,6 +512,9 @@ func (s *solver) guardNaN() Status {
 		return statusNumeric
 	}
 	s.rebuildReduced()
+	// Whatever poisoned the FTRAN/BTRAN results may have poisoned the
+	// pricing weights learned through them; restart the framework.
+	s.pr.reset(s)
 	return 0
 }
 
@@ -473,6 +527,15 @@ func (s *solver) refactorizeRepair() (repaired bool, err error) {
 	for attempt := 0; ; attempt++ {
 		err = s.refactorize()
 		if err == nil {
+			if repaired {
+				// The repair swapped basis columns under the pricing rule:
+				// reference weights keyed to the old basis are meaningless,
+				// so the framework restarts.  A clean periodic
+				// refactorization keeps them — the weights approximate
+				// ‖B⁻¹·A_j‖², a property of the basis itself, not of the
+				// factorization that represents it.
+				s.pr.reset(s)
+			}
 			return repaired, nil
 		}
 		if attempt >= maxBasisRepairs || !s.repairSingular() {
@@ -573,12 +636,23 @@ func (s *solver) primal() Status {
 		if s.stale >= refreshEvery || (useBland && s.stale > 0) {
 			s.rebuildReduced()
 		}
-		q := s.pickEntering(useBland)
+		// Pricing: Bland's least-index rule while the stall latch holds (or
+		// past the iteration backstop), the configured rule otherwise.
+		var q int
+		if useBland {
+			q = s.pickEntering(true)
+		} else {
+			q = s.pr.price(s)
+		}
 		if q < 0 && s.stale > 0 {
 			// The maintained row says optimal; confirm exactly so drift can
 			// delay convergence but never fake it.
 			s.rebuildReduced()
-			q = s.pickEntering(useBland)
+			if useBland {
+				q = s.pickEntering(true)
+			} else {
+				q = s.pr.price(s)
+			}
 		}
 		if q < 0 {
 			// NaN reduced costs price every column as ineligible, which would
@@ -606,9 +680,7 @@ func (s *solver) primal() Status {
 		// an FTRAN, never a non-improving pivot.
 		dq := s.cost[q]
 		for i := 0; i < m; i++ {
-			if ci := s.cost[s.basis[i]]; ci != 0 && w[i] != 0 {
-				dq -= ci * w[i]
-			}
+			dq -= s.cost[s.basis[i]] * w[i]
 		}
 		sigma := 1.0 // direction of the entering variable's move
 		if s.atUpper[q] {
@@ -743,11 +815,19 @@ func (s *solver) primal() Status {
 		if step <= epsilon {
 			s.stallRun++ // degenerate pivot: no objective progress
 		} else {
-			// Progress made: drop back to Dantzig/Harris pricing.  Bland is
-			// an anti-cycling device, not a pricing strategy — staying on it
-			// past the stall trades convergence speed for nothing.
+			// Progress made: release the stall latch back to the configured
+			// rule (never when Bland IS the configured rule).  Bland is an
+			// anti-cycling device, not a pricing strategy — staying on it
+			// past the stall trades convergence speed for nothing.  Devex
+			// restarts with a fresh reference framework, counted as a
+			// DevexReset unconditionally: the reset is the release signal.
 			s.stallRun = 0
-			s.blandForced = false
+			if s.blandForced && s.pricing != PricingBland {
+				s.blandForced = false
+				if s.dvx != nil {
+					s.dvx.resetFramework(s, true)
+				}
+			}
 		}
 		if s.sinceRefactor >= refactorEvery {
 			repaired, err := s.refactorizeRepair()
@@ -762,7 +842,7 @@ func (s *solver) primal() Status {
 			}
 			s.rebuildReduced()
 		} else {
-			s.updateReducedAfterPivot(q, leaving, dq)
+			s.pr.update(s, q, leaving, dq, w)
 		}
 	}
 	return statusNumeric
@@ -798,20 +878,47 @@ func (s *solver) dual() Status {
 				return st
 			}
 		}
-		// Leaving: largest bound violation among the basic values.
+		// Leaving: largest bound violation among the basic values — under
+		// devex weighted by the dual reference weights (violation squared
+		// over the approximate row norm of B⁻¹), the dual analogue of the
+		// primal devex score: a violation that is large only because its row
+		// of the inverse is long yields a short dual step, so normalizing by
+		// the row norm picks rows that actually move the dual objective.
 		p := -1
-		worst := feasTol
 		leaveAtUpper := false
-		for i, v := range s.xB {
-			if -v > worst {
-				worst = -v
-				p = i
-				leaveAtUpper = false
+		if s.dvx != nil {
+			bestV2, bestW := 0.0, 1.0
+			for i, v := range s.xB {
+				viol := -v
+				atUp := false
+				if ub := s.std.upper[s.basis[i]]; !math.IsInf(ub, 1) && v-ub > viol {
+					viol = v - ub
+					atUp = true
+				}
+				if viol <= feasTol {
+					continue
+				}
+				// Divide-free argmax of viol²/rowW, cross-multiplied
+				// against the incumbent.
+				if v2 := viol * viol; v2*bestW > bestV2*s.dvx.rowW[i] {
+					bestV2, bestW = v2, s.dvx.rowW[i]
+					p = i
+					leaveAtUpper = atUp
+				}
 			}
-			if ub := s.std.upper[s.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
-				worst = v - ub
-				p = i
-				leaveAtUpper = true
+		} else {
+			worst := feasTol
+			for i, v := range s.xB {
+				if -v > worst {
+					worst = -v
+					p = i
+					leaveAtUpper = false
+				}
+				if ub := s.std.upper[s.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
+					worst = v - ub
+					p = i
+					leaveAtUpper = true
+				}
 			}
 		}
 		if p < 0 {
@@ -833,6 +940,11 @@ func (s *solver) dual() Status {
 			}
 			continue
 		}
+		if s.dvx != nil && s.dvx.dirty && s.dvx.dualDrifted(p, rho) {
+			// ρ is the exact row norm the reference weight approximates;
+			// past the ratio bound the framework restarts at unit weights.
+			s.dvx.resetFramework(s, true)
+		}
 
 		// Entering: dual ratio test over the eligible columns of row p.  A
 		// column at its lower bound can only increase (needs r·α < 0 to move
@@ -840,11 +952,12 @@ func (s *solver) dual() Status {
 		// bound can only decrease (needs r·α > 0) and must keep d ≤ 0.
 		q := -1
 		best := math.Inf(1)
+		alpha := s.alphaRow(rho)
 		for j := 0; j < s.std.nTotal; j++ {
 			if s.basic[j] || s.std.upper[j] == 0 {
 				continue
 			}
-			ra := r * s.std.colDot(j, rho)
+			ra := r * alpha[j]
 			var ratio float64
 			if s.atUpper[j] {
 				if ra <= pivotEpsilon {
@@ -919,6 +1032,9 @@ func (s *solver) dual() Status {
 		}
 
 		s.exchange(q, p, delta, w, leaveAtUpper)
+		if s.dvx != nil {
+			s.dvx.dualUpdate(s, p, w)
+		}
 		if s.sinceRefactor >= refactorEvery {
 			if repaired, err := s.refactorizeRepair(); err != nil || repaired {
 				return statusNumeric
@@ -1037,11 +1153,12 @@ func (s *standard) solve(warm *Basis, ctl *solveControl, stats *Stats) (Status, 
 	}
 
 	if warm != nil {
-		if basisArr, atUp, ok := s.installBasis(warm); ok {
+		if basisArr, atUp, dvxCols, dvxW, ok := s.installBasis(warm); ok {
 			sv := newSolver(s, ctl, stats)
-			if st, vals := sv.solveWarm(basisArr, atUp); st != statusRetry {
+			if st, vals := sv.solveWarm(basisArr, atUp, dvxCols, dvxW); st != statusRetry {
 				if st == Optimal {
-					return st, vals, s.captureBasis(sv.basis, sv.atUpper)
+					cols, wts := sv.devexWeights()
+					return st, vals, s.captureBasis(sv.basis, sv.atUpper, cols, wts)
 				}
 				return st, vals, nil
 			}
@@ -1052,9 +1169,52 @@ func (s *standard) solve(warm *Basis, ctl *solveControl, stats *Stats) (Status, 
 	sv := newSolver(s, ctl, stats)
 	st, vals := sv.solveCold()
 	if st == Optimal {
-		return st, vals, s.captureBasis(sv.basis, sv.atUpper)
+		cols, wts := sv.devexWeights()
+		return st, vals, s.captureBasis(sv.basis, sv.atUpper, cols, wts)
 	}
 	return st, vals, nil
+}
+
+// devexWeights exposes the learned reference weights for basis capture in
+// sparse form (column indices and their >1 values), or nils under a
+// non-devex rule.  A solve that never materialized the dense vector passes
+// its carried warm-start entries through without an O(columns) scan.
+func (sv *solver) devexWeights() ([]int, []float64) {
+	if sv.dvx == nil {
+		return nil, nil
+	}
+	if sv.dvx.w == nil {
+		return sv.dvx.carriedIdx, sv.dvx.carriedW
+	}
+	n := 0
+	for _, wv := range sv.dvx.w {
+		if wv > 1 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var cols []int
+	var wts []float64
+	if scr := sv.std.scr; scr != nil {
+		// Capture staging is scratch-backed: captureBasis copies the pairs
+		// into the Basis, so nothing here outlives the capture.
+		scr.capturedIdx = growInts(scr.capturedIdx, n)
+		scr.capturedW = growFloats(scr.capturedW, n)
+		cols = scr.capturedIdx[:0]
+		wts = scr.capturedW[:0]
+	} else {
+		cols = make([]int, 0, n)
+		wts = make([]float64, 0, n)
+	}
+	for j, wv := range sv.dvx.w {
+		if wv > 1 {
+			cols = append(cols, j)
+			wts = append(wts, wv)
+		}
+	}
+	return cols, wts
 }
 
 // solveWarm restarts from a mapped basis and its nonbasic-at-bound
@@ -1062,7 +1222,7 @@ func (s *standard) solve(warm *Basis, ctl *solveControl, stats *Stats) (Status, 
 // solution is still within bounds, or re-optimize with the dual simplex if
 // it is at least dual-feasible.  statusRetry means the warm basis was
 // unusable and the caller should solve cold.
-func (sv *solver) solveWarm(basisArr []int, atUpper []bool) (Status, []float64) {
+func (sv *solver) solveWarm(basisArr []int, atUpper []bool, dvxCols []int, dvxW []float64) (Status, []float64) {
 	sv.setBasis(basisArr)
 	copy(sv.atUpper, atUpper)
 	sv.cost = sv.std.c
@@ -1072,6 +1232,14 @@ func (sv *solver) solveWarm(basisArr []int, atUpper []bool) (Status, []float64) 
 	// cold solve starts from scratch.
 	if _, err := sv.refactorizeRepair(); err != nil {
 		return statusRetry, nil
+	}
+	// Install the carried devex reference weights after the initial
+	// factorization (a repair there would have reset the fresh framework
+	// anyway).  They stay sparse until a pivot materializes the dense
+	// vector, but count as learned state from here.
+	if sv.dvx != nil && len(dvxCols) > 0 {
+		sv.dvx.carriedIdx, sv.dvx.carriedW = dvxCols, dvxW
+		sv.dvx.dirty = true
 	}
 
 	primalFeasible := true

@@ -70,6 +70,45 @@ type standard struct {
 	// negPart[j] is the column index of the negative part of original
 	// variable j when it is doubly free (split x = x⁺ − x⁻), or -1.
 	negPart []int
+
+	// Row-major mirror of the CSC nonzeros over the priced columns
+	// (j < nTotal), built lazily by buildRows for the pivot-update scatter.
+	rowPtr  []int
+	rowCols []int
+	rowVals []float64
+
+	// scr is the owning Problem's solve scratch; the mirror above, the
+	// solver's alpha row and the devex weight vectors are carved from it so
+	// repeated solves (the milp/sched warm chains) reuse the buffers
+	// instead of re-allocating them.  Nil-safe: a standalone standard just
+	// allocates.
+	scr *solveScratch
+}
+
+// solveScratch holds solve-lifetime buffers reused across a Problem's
+// solves.  A Problem is documented not safe for concurrent use, so its
+// solves are sequential and one set of buffers suffices; nothing carved
+// from here escapes into a Solution or a Basis (values, basis captures and
+// devex weight captures are all freshly copied out).
+type solveScratch struct {
+	rowPtr  []int
+	rowCols []int
+	rowVals []float64
+	rowNext []int
+	alpha   []float64
+	devexW  []float64
+	rowW    []float64
+
+	// Sparse devex weight staging for the warm-start cycle: carried* backs
+	// installBasis's mapped column/weight pairs (consumed by the solver's
+	// first weight materialization), captured* backs devexWeights's
+	// capture-time extraction (copied into the Basis by captureBasis).
+	// Distinct pairs: the carried arrays can still be live — un-consumed —
+	// when capture runs on a zero-pivot solve.
+	carriedIdx  []int
+	carriedW    []float64
+	capturedIdx []int
+	capturedW   []float64
 }
 
 // col returns column j's nonzeros.
@@ -78,14 +117,77 @@ func (s *standard) col(j int) ([]int, []float64) {
 	return s.rowIdx[lo:hi], s.vals[lo:hi]
 }
 
-// colDot returns column j · y, with y indexed by row.
+// buildRows materializes the row-major mirror of the priced columns
+// (j < nTotal; artificials never re-enter pricing).  One counting sort over
+// the CSC nonzeros, done once per standard form on first use.
+func (s *standard) buildRows() {
+	if s.rowPtr != nil {
+		return
+	}
+	end := s.colPtr[s.nTotal]
+	var ptr, cols, next []int
+	var vals []float64
+	if s.scr != nil {
+		ptr = growInts(s.scr.rowPtr, s.m+1)
+		cols = growInts(s.scr.rowCols, end)
+		vals = growFloats(s.scr.rowVals, end)
+		next = growInts(s.scr.rowNext, s.m)
+		s.scr.rowPtr, s.scr.rowCols, s.scr.rowVals, s.scr.rowNext = ptr, cols, vals, next
+		for i := range ptr {
+			ptr[i] = 0
+		}
+	} else {
+		ptr = make([]int, s.m+1)
+		cols = make([]int, end)
+		vals = make([]float64, end)
+		next = make([]int, s.m)
+	}
+	for _, r := range s.rowIdx[:end] {
+		ptr[r+1]++
+	}
+	for r := 0; r < s.m; r++ {
+		ptr[r+1] += ptr[r]
+	}
+	copy(next, ptr[:s.m])
+	for j := 0; j < s.nTotal; j++ {
+		for p := s.colPtr[j]; p < s.colPtr[j+1]; p++ {
+			r := s.rowIdx[p]
+			k := next[r]
+			next[r] = k + 1
+			cols[k] = j
+			vals[k] = s.vals[p]
+		}
+	}
+	s.rowPtr, s.rowCols, s.rowVals = ptr, cols, vals
+}
+
+// scatterRows accumulates alpha[j] += (row r of A)·y[r] over the rows where
+// y is nonzero — alpha = Aᵀ·y across every priced column in one sequential
+// pass, instead of a per-column gather with its per-column slice overhead.
+// The whole-row skip on y[r] == 0 is worth its branch: unlike a per-element
+// skip it elides an entire row of multiply-adds.  alpha must arrive zeroed.
+func (s *standard) scatterRows(y, alpha []float64) {
+	s.buildRows()
+	for r := 0; r < s.m; r++ {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		for p := s.rowPtr[r]; p < s.rowPtr[r+1]; p++ {
+			alpha[s.rowCols[p]] += s.rowVals[p] * yr
+		}
+	}
+}
+
+// colDot returns column j · y, with y indexed by row.  The multiply-add is
+// unconditional on purpose: y's zero pattern is data-dependent (a BTRAN row
+// of the inverse), so a skip branch mispredicts far more than the multiply
+// it saves costs.
 func (s *standard) colDot(j int, y []float64) float64 {
 	rows, vals := s.col(j)
 	d := 0.0
 	for k, r := range rows {
-		if yv := y[r]; yv != 0 {
-			d += vals[k] * yv
-		}
+		d += vals[k] * y[r]
 	}
 	return d
 }
@@ -97,6 +199,7 @@ func (p *Problem) standardize() (*standard, error) {
 		shift:   make([]float64, n),
 		mirror:  make([]bool, n),
 		negPart: make([]int, n),
+		scr:     &p.scr,
 	}
 
 	// Structural columns: one per variable, plus one extra per doubly-free

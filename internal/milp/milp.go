@@ -167,6 +167,9 @@ type Options struct {
 	// Ctx, when non-nil, cancels the search cooperatively between nodes and
 	// between simplex iterations inside a node.
 	Ctx context.Context
+	// Pricing selects the simplex pricing rule for every node relaxation
+	// (the zero value is lp.PricingDevex).
+	Pricing lp.PricingRule
 }
 
 func (o Options) withDefaults() Options {
@@ -202,7 +205,7 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveWithOptions(Options
 // SolveWithOptions runs branch and bound.
 func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
-	lpOpts := lp.SolveOptions{Deadline: opts.Deadline, Ctx: opts.Ctx}
+	lpOpts := lp.SolveOptions{Deadline: opts.Deadline, Ctx: opts.Ctx, Pricing: opts.Pricing}
 
 	if len(p.integers) == 0 {
 		sol, err := p.solveRelaxation(nil, nil, lpOpts)

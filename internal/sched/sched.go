@@ -80,6 +80,9 @@ type Options struct {
 	// (Plan.Degraded) instead of blocking the scheduling round — an hourly
 	// re-planner must deliver a valid plan on time, not a perfect plan late.
 	LPTimeout time.Duration
+	// Pricing selects the simplex pricing rule for the partition LP (the
+	// zero value is lp.PricingDevex).
+	Pricing lp.PricingRule
 }
 
 func (o Options) withDefaults() Options {
@@ -210,7 +213,7 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 		return nil, err
 	}
 
-	var lpOpts lp.SolveOptions
+	lpOpts := lp.SolveOptions{Pricing: s.opts.Pricing}
 	if s.opts.LPTimeout > 0 {
 		lpOpts.Deadline = time.Now().Add(s.opts.LPTimeout)
 	}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"greencloud/internal/timeseries"
 )
@@ -168,10 +169,55 @@ type Trace struct {
 	Archetype Archetype
 }
 
+// traceCache memoizes Generate.  The generator is pure — the same
+// (archetype, seed) pair always yields the identical trace — and one
+// full-year trace costs hundreds of thousands of transcendental
+// evaluations, so callers that re-derive hourly profiles (catalog builds,
+// emulation setup, repeated experiment runs) would otherwise pay that cost
+// on every call.  A Trace is immutable outside generation (every Hourly
+// accessor returns a copy), which is what makes sharing the cached
+// instance safe.  The map is dropped wholesale once it holds
+// maxCachedTraces entries: a seed sweep then regenerates instead of
+// accumulating ~280 KB per trace without bound.
+var traceCache struct {
+	sync.Mutex
+	m map[traceKey]*Trace
+}
+
+type traceKey struct {
+	a    Archetype
+	seed int64
+}
+
+const maxCachedTraces = 128
+
 // Generate builds the synthetic TMY for a site of the given archetype.  The
 // same (archetype, seed) pair always yields the identical trace, which keeps
-// every experiment in the repository reproducible.
+// every experiment in the repository reproducible — and lets Generate serve
+// repeated calls from a cache (the returned trace may be shared; treat it as
+// read-only, which every accessor already enforces by copying).
 func Generate(a Archetype, seed int64) *Trace {
+	key := traceKey{a, seed}
+	traceCache.Lock()
+	if tr, ok := traceCache.m[key]; ok {
+		traceCache.Unlock()
+		return tr
+	}
+	traceCache.Unlock()
+	tr := generate(a, seed)
+	traceCache.Lock()
+	if len(traceCache.m) >= maxCachedTraces {
+		traceCache.m = nil
+	}
+	if traceCache.m == nil {
+		traceCache.m = make(map[traceKey]*Trace, maxCachedTraces)
+	}
+	traceCache.m[key] = tr
+	traceCache.Unlock()
+	return tr
+}
+
+func generate(a Archetype, seed int64) *Trace {
 	p := archetypeParams(a)
 	rng := rand.New(rand.NewSource(seed*7919 + int64(a)*104729))
 
