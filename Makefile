@@ -80,10 +80,11 @@ cover:
 # catches a benchmark-only breakage (setup drift, catalog changes, a basis
 # that stops translating) in `make ci` instead of the full sweep.
 # BenchmarkCalibration is the machine-speed probe benchjson -calibrate
-# normalizes by, and BenchmarkLPPricing keeps the pricing-rule A/B (and its
-# pivots/op metric) compiling and running — all three sub-benchmarks at
-# -benchtime=1x cost a few milliseconds.
-BENCH_SMOKE := ^(BenchmarkCalibration|BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkLPPricing|BenchmarkEmulDay)$$
+# normalizes by, BenchmarkLPPricing keeps the pricing-rule A/B (and its
+# pivots/op metric) compiling and running, and BenchmarkLPPresolve keeps the
+# presolve on/off A/B (with its rows_removed/cols_removed metrics) alive —
+# each sub-benchmark at -benchtime=1x costs a few milliseconds.
+BENCH_SMOKE := ^(BenchmarkCalibration|BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkLPPricing|BenchmarkLPPresolve|BenchmarkEmulDay)$$
 
 bench-smoke:
 	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' .
@@ -108,13 +109,16 @@ bench-check:
 bench:
 	$(GO) test -bench=. -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json -calibrate -baseline latest
 
-# CPU and heap profiles of the scheduler's end-to-end compute-time benchmark
-# (the optimization loop the paper's Fig. 14 measures), written under
-# profile/ (gitignored) for `go tool pprof profile/cpu.out`.  This is the
-# entry point the devex/partial-pricing work was profiled with; keeping it a
-# target makes the next perf investigation a one-liner.
+# CPU and heap profiles of one benchmark, written under profile/ (gitignored)
+# for `go tool pprof profile/cpu.out`.  PROFILE_BENCH picks the benchmark —
+# the default is the scheduler's end-to-end compute time (the optimization
+# loop the paper's Fig. 14 measures; the entry point the devex/partial-pricing
+# work was profiled with), but any benchmark name works:
+#   make profile PROFILE_BENCH=LPPresolve
+PROFILE_BENCH ?= SchedulerComputeTime
+
 profile:
 	mkdir -p profile
-	$(GO) test -bench='^BenchmarkSchedulerComputeTime$$' -benchtime=5x -run '^$$' \
+	$(GO) test -bench='^Benchmark$(PROFILE_BENCH)$$' -benchtime=5x -run '^$$' \
 		-cpuprofile profile/cpu.out -memprofile profile/mem.out -o profile/bench.test .
 	@echo "profiles in profile/: go tool pprof profile/bench.test profile/cpu.out"

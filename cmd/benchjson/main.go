@@ -298,8 +298,9 @@ const lowNAllocFactor = 10.0
 
 // calibrationBenchmark is the machine-speed probe diffAgainst uses to
 // normalize deltas under -calibrate (see BenchmarkCalibration in the
-// repository root).
-const calibrationBenchmark = "BenchmarkCalibration"
+// repository root).  Snapshot keys carry the Benchmark prefix already
+// stripped (parseBenchLine), so the probe is looked up by its bare name.
+const calibrationBenchmark = "Calibration"
 
 // calibrationScale returns the factor by which the current machine is
 // slower (>1) or faster (<1) than the baseline's, measured by the

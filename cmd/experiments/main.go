@@ -26,6 +26,7 @@ func run() error {
 		full    = flag.Bool("full", false, "use the paper-scale catalog and search budgets (slow)")
 		seed    = flag.Int64("seed", 1, "random seed for the synthetic catalog")
 		timeout = flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 5m); 0 means no limit. Experiments finished before the deadline are still printed.")
+		verbose = flag.Bool("v", false, "add solver-internals columns (LP pivots, presolve reductions, warm-start fallbacks) to the LP-backed tables")
 	)
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func run() error {
 	if *full {
 		budget = experiments.Full
 	}
-	cfg := experiments.Config{Budget: budget, Seed: *seed}
+	cfg := experiments.Config{Budget: budget, Seed: *seed, Verbose: *verbose}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

@@ -416,5 +416,7 @@ func SolveExact(cat *location.Catalog, candidateIDs []int, spec Spec, opts Exact
 	if math.IsInf(sol.TotalMonthlyUSD, 0) || sol.TotalMonthlyUSD == 0 {
 		sol.TotalMonthlyUSD = milpSol.Objective
 	}
+	sol.ExactNodes = milpSol.Nodes
+	sol.ExactLPStats = milpSol.LPStats
 	return sol, nil
 }

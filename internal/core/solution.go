@@ -6,6 +6,7 @@ import (
 
 	"greencloud/internal/cost"
 	"greencloud/internal/location"
+	"greencloud/internal/lp"
 )
 
 // SiteSolution is the provisioning and yearly operation of one selected site.
@@ -57,6 +58,11 @@ type Solution struct {
 	// Violations lists the constraints that are not met (empty when
 	// Feasible).
 	Violations []string
+	// ExactNodes and ExactLPStats are only set by SolveExact: the
+	// branch-and-bound node count and the aggregate simplex/presolve work
+	// of its node relaxations.  The heuristic path leaves them zero.
+	ExactNodes   int
+	ExactLPStats lp.Stats
 }
 
 // addViolation records a constraint violation.

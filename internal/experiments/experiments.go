@@ -26,6 +26,7 @@ import (
 	"greencloud/internal/emul"
 	"greencloud/internal/energy"
 	"greencloud/internal/location"
+	"greencloud/internal/lp"
 	"greencloud/internal/pue"
 	"greencloud/internal/sched"
 	"greencloud/internal/timeseries"
@@ -187,6 +188,10 @@ type Config struct {
 	// cancellation are returned; a Ctx that never fires leaves every result
 	// bit-identical to a run without one.
 	Ctx context.Context
+	// Verbose adds solver-internals columns to the LP-backed tables
+	// (sched-timing, heuristic-vs-exact): simplex pivots, warm-start cold
+	// fallbacks and what presolve removed.
+	Verbose bool
 }
 
 // Suite owns the catalog and caches intermediate results shared between
@@ -911,6 +916,9 @@ func (s *Suite) SchedulerTiming() (*Table, error) {
 		Title:   "GreenNebula scheduler time per migration schedule",
 		Columns: []string{"setup", "horizon(h)", "datacenters", "avg time (ms)"},
 	}
+	if s.cfg.Verbose {
+		t.Columns = append(t.Columns, "lp pivots", "presolve -rows/-cols", "cold fallbacks")
+	}
 	for _, setup := range []struct {
 		name    string
 		totalKW float64
@@ -939,14 +947,24 @@ func (s *Suite) SchedulerTiming() (*Table, error) {
 		}
 		scheduler := sched.New(sched.Options{HorizonHours: horizon, MigrationFraction: 1})
 		const rounds = 3
+		var lpStats lp.Stats
 		start := time.Now()
 		for i := 0; i < rounds; i++ {
-			if _, err := scheduler.Partition(states, setup.totalKW); err != nil {
+			plan, err := scheduler.Partition(states, setup.totalKW)
+			if err != nil {
 				return nil, err
 			}
+			lpStats.Add(plan.LPStats)
 		}
 		avgMs := float64(time.Since(start).Milliseconds()) / rounds
-		t.Rows = append(t.Rows, []string{setup.name, strconv.Itoa(horizon), strconv.Itoa(setup.dcs), f1(avgMs)})
+		row := []string{setup.name, strconv.Itoa(horizon), strconv.Itoa(setup.dcs), f1(avgMs)}
+		if s.cfg.Verbose {
+			row = append(row,
+				strconv.Itoa(lpStats.Pivots),
+				fmt.Sprintf("%d/%d", lpStats.RowsRemoved, lpStats.ColsRemoved),
+				strconv.Itoa(lpStats.ColdFallbacks))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -970,6 +988,9 @@ func (s *Suite) HeuristicVsExact() (*Table, error) {
 		Title:   "Heuristic solver vs. exact MILP on a small brown instance",
 		Columns: []string{"solver", "monthly cost ($M)", "datacenters", "runtime (ms)"},
 	}
+	if s.cfg.Verbose {
+		t.Columns = append(t.Columns, "nodes", "lp pivots", "presolve -rows/-cols", "cold fallbacks")
+	}
 	start := time.Now()
 	exact, err := core.SolveExact(cat, ids, spec, core.ExactOptions{MaxNodes: 50})
 	if err != nil {
@@ -988,10 +1009,18 @@ func (s *Suite) HeuristicVsExact() (*Table, error) {
 	}
 	heurMs := time.Since(start).Milliseconds()
 
-	t.Rows = append(t.Rows,
-		[]string{"exact MILP", f2(exact.TotalMonthlyUSD / 1e6), strconv.Itoa(len(exact.Sites)), strconv.FormatInt(exactMs, 10)},
-		[]string{"heuristic", f2(heur.TotalMonthlyUSD / 1e6), strconv.Itoa(len(heur.Sites)), strconv.FormatInt(heurMs, 10)},
-	)
+	exactRow := []string{"exact MILP", f2(exact.TotalMonthlyUSD / 1e6), strconv.Itoa(len(exact.Sites)), strconv.FormatInt(exactMs, 10)}
+	heurRow := []string{"heuristic", f2(heur.TotalMonthlyUSD / 1e6), strconv.Itoa(len(heur.Sites)), strconv.FormatInt(heurMs, 10)}
+	if s.cfg.Verbose {
+		st := exact.ExactLPStats
+		exactRow = append(exactRow,
+			strconv.Itoa(exact.ExactNodes),
+			strconv.Itoa(st.Pivots),
+			fmt.Sprintf("%d/%d", st.RowsRemoved, st.ColsRemoved),
+			strconv.Itoa(st.ColdFallbacks))
+		heurRow = append(heurRow, "-", "-", "-", "-") // the heuristic path runs no LPs
+	}
+	t.Rows = append(t.Rows, exactRow, heurRow)
 	return t, nil
 }
 

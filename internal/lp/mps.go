@@ -1,0 +1,409 @@
+package lp
+
+// MPS interchange: WriteMPS serializes a Problem to the MPS linear-program
+// format and ReadMPS parses one back.  The reader accepts both fixed- and
+// free-format files by splitting every data line on whitespace (which also
+// reads well-formed fixed-format files, as long as no name embeds a space)
+// and understands the NAME, OBJSENSE, ROWS, COLUMNS, RHS, RANGES, BOUNDS
+// and ENDATA sections.  The writer emits aligned free format with
+// machine-generated row/column names (model names may repeat or contain
+// whitespace, so they cannot serve as MPS identifiers) and shortest
+// round-trippable numbers, so Write→Read reproduces the exact same LP.
+//
+// Dialect notes, chosen to match the common lp_solve/CPLEX conventions:
+//   - The first N row is the objective; further N rows are free rows whose
+//     coefficients are dropped.
+//   - A RANGES entry r on row i with rhs b turns the row into an interval:
+//     L rows become b−|r| ≤ ax ≤ b, G rows b ≤ ax ≤ b+|r|, and E rows span
+//     b to b+r (r's sign picks the side).  Interval rows are modeled as two
+//     constraints.
+//   - An UP bound with a negative value on a column with no explicit lower
+//     bound drops the default lower bound to −∞ (the classic MPS quirk).
+//   - BV becomes plain [0, 1]; LI/UI are read as LO/UP — this package
+//     solves LPs, so integrality marks (including COLUMNS 'MARKER' lines,
+//     which are skipped) do not survive.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteMPS writes the problem in MPS format.
+func (p *Problem) WriteMPS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	rname := func(i int) string { return fmt.Sprintf("R%d", i) }
+	cname := func(j int) string { return fmt.Sprintf("X%d", j) }
+
+	fmt.Fprintf(bw, "NAME          %s\n", "GREENCLOUD")
+	if p.sense == Maximize {
+		fmt.Fprintf(bw, "OBJSENSE\n    MAX\n")
+	}
+	fmt.Fprintf(bw, "ROWS\n N  COST\n")
+	for i, c := range p.cons {
+		var t byte
+		switch c.op {
+		case LE:
+			t = 'L'
+		case GE:
+			t = 'G'
+		default:
+			t = 'E'
+		}
+		fmt.Fprintf(bw, " %c  %s\n", t, rname(i))
+	}
+
+	// Column-major entries: walk the rows once to group terms per column.
+	// Duplicate terms are pre-summed so the reader's accumulation is moot.
+	type entry struct {
+		row int
+		val float64
+	}
+	byCol := make([][]entry, len(p.vars))
+	for i, c := range p.cons {
+		for _, t := range c.terms {
+			if t.Coeff != 0 {
+				byCol[t.Var] = append(byCol[t.Var], entry{i, t.Coeff})
+			}
+		}
+	}
+	fmt.Fprintf(bw, "COLUMNS\n")
+	for j, v := range p.vars {
+		merged := byCol[j][:0]
+		seen := make(map[int]int, len(byCol[j]))
+		for _, e := range byCol[j] {
+			if k, ok := seen[e.row]; ok {
+				merged[k].val += e.val
+			} else {
+				seen[e.row] = len(merged)
+				merged = append(merged, e)
+			}
+		}
+		if v.cost != 0 {
+			fmt.Fprintf(bw, "    %-10s %-10s %s\n", cname(j), "COST", num(v.cost))
+		}
+		wrote := v.cost != 0
+		for _, e := range merged {
+			if e.val == 0 {
+				continue
+			}
+			fmt.Fprintf(bw, "    %-10s %-10s %s\n", cname(j), rname(e.row), num(e.val))
+			wrote = true
+		}
+		if !wrote {
+			// A column with no entries anywhere would vanish on read; pin it
+			// with an explicit zero objective coefficient.
+			fmt.Fprintf(bw, "    %-10s %-10s 0\n", cname(j), "COST")
+		}
+	}
+
+	fmt.Fprintf(bw, "RHS\n")
+	for i, c := range p.cons {
+		if c.rhs != 0 {
+			fmt.Fprintf(bw, "    %-10s %-10s %s\n", "RHS", rname(i), num(c.rhs))
+		}
+	}
+
+	fmt.Fprintf(bw, "BOUNDS\n")
+	for j, v := range p.vars {
+		n := cname(j)
+		switch {
+		case v.lb == 0 && math.IsInf(v.ub, 1):
+			// the MPS default; nothing to write
+		case v.lb == v.ub:
+			fmt.Fprintf(bw, " FX %-10s %-10s %s\n", "BND", n, num(v.lb))
+		case math.IsInf(v.lb, -1) && math.IsInf(v.ub, 1):
+			fmt.Fprintf(bw, " FR %-10s %-10s\n", "BND", n)
+		default:
+			if math.IsInf(v.lb, -1) {
+				fmt.Fprintf(bw, " MI %-10s %-10s\n", "BND", n)
+			} else if v.lb != 0 {
+				fmt.Fprintf(bw, " LO %-10s %-10s %s\n", "BND", n, num(v.lb))
+			}
+			if !math.IsInf(v.ub, 1) {
+				fmt.Fprintf(bw, " UP %-10s %-10s %s\n", "BND", n, num(v.ub))
+			}
+		}
+	}
+	fmt.Fprintf(bw, "ENDATA\n")
+	return bw.Flush()
+}
+
+// mpsRow is a constraint under construction during parsing.
+type mpsRow struct {
+	name     string
+	op       Op
+	rhs      float64
+	terms    []Term
+	hasRange bool
+	rng      float64
+}
+
+// mpsCol is a variable under construction during parsing.
+type mpsCol struct {
+	name       string
+	lb, ub     float64
+	cost       float64
+	explicitLO bool // an explicit lower bound suppresses the UP-negative quirk
+}
+
+// ReadMPS parses an MPS-format linear program.  See the package comment on
+// this file for the accepted dialect.
+func ReadMPS(r io.Reader) (*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	sense := Minimize
+	var rows []mpsRow
+	rowIdx := map[string]int{}
+	freeRows := map[string]bool{} // extra N rows: coefficients dropped
+	objRow := ""
+	var cols []mpsCol
+	colIdx := map[string]int{}
+	col := func(name string) int {
+		if j, ok := colIdx[name]; ok {
+			return j
+		}
+		j := len(cols)
+		colIdx[name] = j
+		cols = append(cols, mpsCol{name: name, lb: 0, ub: math.Inf(1)})
+		return j
+	}
+
+	section := ""
+	sawEndata := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '*'); i == 0 {
+			continue // comment line
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if line[0] != ' ' && line[0] != '\t' {
+			// Section header at column 1.
+			f := strings.Fields(line)
+			section = strings.ToUpper(f[0])
+			switch section {
+			case "NAME", "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS", "OBJSENSE":
+				if section == "OBJSENSE" && len(f) > 1 {
+					if s, err := parseSense(f[1]); err == nil {
+						sense = s
+						section = ""
+					} else {
+						return nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+					}
+				}
+			case "ENDATA":
+				sawEndata = true
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unknown section %q", lineNo, f[0])
+			}
+			if sawEndata {
+				break
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		switch section {
+		case "OBJSENSE":
+			s, err := parseSense(f[0])
+			if err != nil {
+				return nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+			}
+			sense = s
+		case "ROWS":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("lp: mps line %d: ROWS entry needs a type and a name", lineNo)
+			}
+			name := f[1]
+			switch strings.ToUpper(f[0]) {
+			case "N":
+				if objRow == "" {
+					objRow = name
+				} else {
+					freeRows[name] = true
+				}
+			case "L":
+				rowIdx[name] = len(rows)
+				rows = append(rows, mpsRow{name: name, op: LE})
+			case "G":
+				rowIdx[name] = len(rows)
+				rows = append(rows, mpsRow{name: name, op: GE})
+			case "E":
+				rowIdx[name] = len(rows)
+				rows = append(rows, mpsRow{name: name, op: EQ})
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unknown row type %q", lineNo, f[0])
+			}
+		case "COLUMNS":
+			if len(f) >= 3 && strings.Contains(strings.ToUpper(f[1]), "MARKER") {
+				continue // integrality markers: LPs ignore them
+			}
+			if len(f) < 3 || len(f)%2 == 0 {
+				return nil, fmt.Errorf("lp: mps line %d: COLUMNS entry needs name plus row/value pairs", lineNo)
+			}
+			j := col(f[0])
+			for k := 1; k+1 < len(f); k += 2 {
+				val, err := strconv.ParseFloat(f[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: bad value %q", lineNo, f[k+1])
+				}
+				switch rn := f[k]; {
+				case rn == objRow:
+					cols[j].cost += val
+				case freeRows[rn]:
+					// free row: dropped
+				default:
+					ri, ok := rowIdx[rn]
+					if !ok {
+						return nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, rn)
+					}
+					rows[ri].terms = append(rows[ri].terms, Term{Var(j), val})
+				}
+			}
+		case "RHS", "RANGES":
+			// Odd field count ⇒ a set name leads the row/value pairs.
+			start := 0
+			if len(f)%2 == 1 {
+				start = 1
+			}
+			if len(f)-start < 2 {
+				return nil, fmt.Errorf("lp: mps line %d: %s entry needs row/value pairs", lineNo, section)
+			}
+			for k := start; k+1 < len(f); k += 2 {
+				val, err := strconv.ParseFloat(f[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: bad value %q", lineNo, f[k+1])
+				}
+				rn := f[k]
+				if rn == objRow || freeRows[rn] {
+					continue // objective constants / free-row ranges: dropped
+				}
+				ri, ok := rowIdx[rn]
+				if !ok {
+					return nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, rn)
+				}
+				if section == "RHS" {
+					rows[ri].rhs = val
+				} else {
+					rows[ri].hasRange = true
+					rows[ri].rng = val
+				}
+			}
+		case "BOUNDS":
+			if len(f) < 2 {
+				return nil, fmt.Errorf("lp: mps line %d: short BOUNDS entry", lineNo)
+			}
+			typ := strings.ToUpper(f[0])
+			needsVal := typ == "UP" || typ == "LO" || typ == "FX" || typ == "LI" || typ == "UI"
+			want := 2 // colname value; one more field means a set name leads
+			if !needsVal {
+				want = 1 // colname only
+			}
+			args := f[1:]
+			if len(args) == want+1 {
+				args = args[1:] // leading bound-set name
+			}
+			if len(args) != want {
+				return nil, fmt.Errorf("lp: mps line %d: malformed BOUNDS entry", lineNo)
+			}
+			j := col(args[0])
+			var val float64
+			if needsVal {
+				var err error
+				if val, err = strconv.ParseFloat(args[1], 64); err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: bad value %q", lineNo, args[1])
+				}
+			}
+			switch typ {
+			case "UP", "UI":
+				cols[j].ub = val
+				if val < 0 && !cols[j].explicitLO {
+					cols[j].lb = math.Inf(-1)
+				}
+			case "LO", "LI":
+				cols[j].lb = val
+				cols[j].explicitLO = true
+			case "FX":
+				cols[j].lb, cols[j].ub = val, val
+				cols[j].explicitLO = true
+			case "FR":
+				cols[j].lb, cols[j].ub = math.Inf(-1), math.Inf(1)
+				cols[j].explicitLO = true
+			case "MI":
+				cols[j].lb = math.Inf(-1)
+				cols[j].explicitLO = true
+			case "PL":
+				cols[j].ub = math.Inf(1)
+			case "BV":
+				cols[j].lb, cols[j].ub = 0, 1
+				cols[j].explicitLO = true
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unknown bound type %q", lineNo, f[0])
+			}
+		case "NAME", "":
+			// NAME continuation lines carry no data.
+		default:
+			return nil, fmt.Errorf("lp: mps line %d: data before any section", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lp: reading mps: %w", err)
+	}
+	if !sawEndata {
+		return nil, fmt.Errorf("lp: mps input has no ENDATA")
+	}
+
+	p := NewProblem(sense)
+	for _, c := range cols {
+		if _, err := p.AddVariable(c.name, c.lb, c.ub, c.cost); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range rows {
+		if !row.hasRange {
+			if err := p.AddConstraint(row.name, row.op, row.rhs, row.terms...); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Ranged row: b ≤ ax ≤ b̄ expressed as a GE/LE pair.
+		var lo, hi float64
+		switch row.op {
+		case LE:
+			lo, hi = row.rhs-math.Abs(row.rng), row.rhs
+		case GE:
+			lo, hi = row.rhs, row.rhs+math.Abs(row.rng)
+		default: // EQ
+			if row.rng >= 0 {
+				lo, hi = row.rhs, row.rhs+row.rng
+			} else {
+				lo, hi = row.rhs+row.rng, row.rhs
+			}
+		}
+		if err := p.AddConstraint(row.name, GE, lo, row.terms...); err != nil {
+			return nil, err
+		}
+		if err := p.AddConstraint(row.name, LE, hi, row.terms...); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func parseSense(s string) (Sense, error) {
+	switch strings.ToUpper(s) {
+	case "MIN", "MINIMIZE":
+		return Minimize, nil
+	case "MAX", "MAXIMIZE":
+		return Maximize, nil
+	}
+	return 0, fmt.Errorf("unknown OBJSENSE %q", s)
+}

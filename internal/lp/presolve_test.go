@@ -1,0 +1,371 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solveBoth solves p presolve-on and presolve-off and returns both results.
+func solveBoth(t *testing.T, p *Problem) (on, off *Solution, errOn, errOff error) {
+	t.Helper()
+	on, errOn = p.SolveWithOptions(SolveOptions{})
+	off, errOff = p.SolveWithOptions(SolveOptions{Presolve: PresolveOff})
+	return
+}
+
+// TestPresolveEmptyProblem pins the degenerate extremes: a model with no
+// variables and no constraints, and one with variables but no constraints.
+func TestPresolveEmptyProblem(t *testing.T) {
+	p := NewProblem(Minimize)
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("empty problem: sol=%+v err=%v, want Optimal 0", sol, err)
+	}
+
+	p = NewProblem(Minimize)
+	x := p.MustVariable("x", 1, 5, 2)
+	y := p.MustVariable("y", -3, 4, -1)
+	sol, err = p.Solve()
+	if err != nil {
+		t.Fatalf("constraint-free problem: %v", err)
+	}
+	if sol.Stats.ColsRemoved != 2 {
+		t.Errorf("ColsRemoved = %d, want 2 (both zero columns)", sol.Stats.ColsRemoved)
+	}
+	if got, want := sol.Value(x), 1.0; got != want {
+		t.Errorf("x = %v, want %v", got, want)
+	}
+	if got, want := sol.Value(y), 4.0; got != want {
+		t.Errorf("y = %v, want %v", got, want)
+	}
+	if want := 2*1.0 - 4.0; !almostEqual(sol.Objective, want, 1e-12) {
+		t.Errorf("objective = %v, want %v", sol.Objective, want)
+	}
+}
+
+// TestPresolveContradictorySingletons pins infeasibility detection inside
+// presolve: two singleton rows that bound one variable from opposite sides
+// with no overlap must return Infeasible without running the simplex, and
+// must agree with the presolve-off status.
+func TestPresolveContradictorySingletons(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 0, 100, 1)
+	if err := p.AddConstraint("ge5", GE, 5, Term{x, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("le3", LE, 3, Term{x, 1}); err != nil {
+		t.Fatal(err)
+	}
+	on, off, errOn, errOff := solveBoth(t, p)
+	if !errors.Is(errOn, ErrInfeasible) || on.Status != Infeasible {
+		t.Fatalf("presolve-on: status=%v err=%v, want Infeasible", on.Status, errOn)
+	}
+	if !errors.Is(errOff, ErrInfeasible) || off.Status != Infeasible {
+		t.Fatalf("presolve-off: status=%v err=%v, want Infeasible", off.Status, errOff)
+	}
+	if on.Stats.Pivots != 0 || on.Stats.Refactorizations != 0 {
+		t.Errorf("presolve-on ran the simplex (%+v); infeasibility should be detected in presolve", on.Stats)
+	}
+}
+
+// TestPresolveAllColumnsFixed pins models whose every column is fixed: the
+// whole model presolves away (feasible case), or the substituted rows
+// contradict their right-hand sides (infeasible case).
+func TestPresolveAllColumnsFixed(t *testing.T) {
+	build := func(rhs float64) (*Problem, Var, Var) {
+		p := NewProblem(Maximize)
+		x := p.MustVariable("x", 2, 2, 3)
+		y := p.MustVariable("y", -1, -1, 5)
+		if err := p.AddConstraint("sum", LE, rhs, Term{x, 1}, Term{y, 1}); err != nil {
+			t.Fatal(err)
+		}
+		return p, x, y
+	}
+
+	p, x, y := build(10) // 2 + (−1) = 1 ≤ 10: feasible
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("fixed feasible: sol=%+v err=%v", sol, err)
+	}
+	if sol.Value(x) != 2 || sol.Value(y) != -1 {
+		t.Errorf("values (%v, %v), want (2, -1)", sol.Value(x), sol.Value(y))
+	}
+	if want := 3.0*2 + 5.0*(-1); !almostEqual(sol.Objective, want, 1e-12) {
+		t.Errorf("objective = %v, want %v", sol.Objective, want)
+	}
+	if sol.Stats.RowsRemoved != 1 || sol.Stats.ColsRemoved != 2 {
+		t.Errorf("removed %d rows / %d cols, want 1 / 2", sol.Stats.RowsRemoved, sol.Stats.ColsRemoved)
+	}
+	// The captured basis must still warm-start a presolve-off re-solve.
+	if basis := sol.Basis(); basis == nil {
+		t.Error("no basis captured from the fully-presolved solve")
+	} else {
+		warm, errW := p.SolveFromWithOptions(basis, SolveOptions{Presolve: PresolveOff})
+		if errW != nil || warm.Status != Optimal {
+			t.Fatalf("warm presolve-off re-solve: %+v err=%v", warm, errW)
+		}
+		if warm.Stats.ColdFallbacks != 0 {
+			t.Errorf("warm re-solve fell back cold (%+v)", warm.Stats)
+		}
+	}
+
+	p, _, _ = build(0) // 1 ≤ 0: infeasible after substitution
+	on, off, errOn, errOff := solveBoth(t, p)
+	if !errors.Is(errOn, ErrInfeasible) || on.Status != Infeasible {
+		t.Fatalf("presolve-on: status=%v err=%v, want Infeasible", on.Status, errOn)
+	}
+	if !errors.Is(errOff, ErrInfeasible) || off.Status != Infeasible {
+		t.Fatalf("presolve-off: status=%v err=%v, want Infeasible", off.Status, errOff)
+	}
+}
+
+// TestPresolveReductions drives every reduction once on a crafted model and
+// checks the reduced counts, the exact optimum and model feasibility of the
+// postsolved point.
+func TestPresolveReductions(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.MustVariable("x", 0, 10, 1)                     // singleton row tightens ub
+	f := p.MustVariable("f", 4, 4, 2)                      // fixed: substituted
+	z := p.MustVariable("z", 0, 3, 5)                      // zero column: no rows
+	w := p.MustVariable("w", math.Inf(-1), math.Inf(1), 1) // free singleton in EQ row
+	d1 := p.MustVariable("d1", 0, 2, 1)                    // duplicate pair
+	d2 := p.MustVariable("d2", 0, 3, 1)
+	if err := p.AddConstraint("sing", LE, 6, Term{x, 2}); err != nil { // x ≤ 3
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("redundant", LE, 100, Term{x, 1}, Term{f, 1}, Term{d1, 1}, Term{d2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("freerow", EQ, 7, Term{w, 1}, Term{x, 1}, Term{f, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint("dup", GE, 4, Term{d1, 1}, Term{d2, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	on, off, errOn, errOff := solveBoth(t, p)
+	if errOn != nil || errOff != nil {
+		t.Fatalf("errs: on=%v off=%v", errOn, errOff)
+	}
+	if on.Status != Optimal || off.Status != Optimal {
+		t.Fatalf("status on=%v off=%v", on.Status, off.Status)
+	}
+	if !almostEqual(on.Objective, off.Objective, 1e-9*(1+math.Abs(off.Objective))) {
+		t.Fatalf("objective on=%v off=%v", on.Objective, off.Objective)
+	}
+	// Everything presolves away: sing folds into x's bound, f substitutes,
+	// z parks at its cheap bound, (w, freerow) eliminate, d2 merges into d1,
+	// redundant drops, dup forces nothing but stays solvable... by the time
+	// the dup row's bound folds the model is rowless.
+	if on.Stats.Pivots != 0 {
+		t.Errorf("presolve-on still pivoted %d times (%+v)", on.Stats.Pivots, on.Stats)
+	}
+	if on.Stats.RowsRemoved != p.NumConstraints() {
+		t.Errorf("RowsRemoved = %d, want %d", on.Stats.RowsRemoved, p.NumConstraints())
+	}
+	if on.Stats.ColsRemoved != p.NumVariables() {
+		t.Errorf("ColsRemoved = %d, want %d", on.Stats.ColsRemoved, p.NumVariables())
+	}
+	checkModelFeasible(t, 0, p, on)
+	// Spot-check the optimum: x=0 (cost 1 ≥ 0), f=4 fixed, z=0,
+	// w = 7 − x − f = 3, d1+d2 = 4 at cost 1 each.
+	if on.Value(f) != 4 || on.Value(z) != 0 {
+		t.Errorf("f=%v z=%v, want 4, 0", on.Value(f), on.Value(z))
+	}
+	if got := on.Value(w); !almostEqual(got, 7-on.Value(x)-4, 1e-9) {
+		t.Errorf("w = %v does not satisfy its eliminated row", got)
+	}
+	if got := on.Value(d1) + on.Value(d2); !almostEqual(got, 4, 1e-9) {
+		t.Errorf("d1+d2 = %v, want 4", got)
+	}
+	_ = x
+}
+
+// TestPresolveForcingRow pins forcing-row detection: a row whose minimum
+// achievable activity equals its right-hand side pins every variable.
+func TestPresolveForcingRow(t *testing.T) {
+	p := NewProblem(Minimize)
+	a := p.MustVariable("a", 1, 5, -1) // cost would prefer a=5…
+	b := p.MustVariable("b", 2, 9, -1)
+	// a + b ≤ 3 with min activity 1+2 = 3: forcing, a=1 and b=2.
+	if err := p.AddConstraint("force", LE, 3, Term{a, 1}, Term{b, 1}); err != nil {
+		t.Fatal(err)
+	}
+	on, off, errOn, errOff := solveBoth(t, p)
+	if errOn != nil || errOff != nil {
+		t.Fatalf("errs: on=%v off=%v", errOn, errOff)
+	}
+	if on.Value(a) != 1 || on.Value(b) != 2 {
+		t.Errorf("forced values (%v, %v), want (1, 2)", on.Value(a), on.Value(b))
+	}
+	if !almostEqual(on.Objective, off.Objective, 1e-9) {
+		t.Errorf("objective on=%v off=%v", on.Objective, off.Objective)
+	}
+	if on.Stats.RowsRemoved != 1 || on.Stats.ColsRemoved != 2 {
+		t.Errorf("removed %d rows / %d cols, want 1 / 2", on.Stats.RowsRemoved, on.Stats.ColsRemoved)
+	}
+	// Just-infeasible variant: min activity 3 > rhs 2.9.
+	p2 := NewProblem(Minimize)
+	a2 := p2.MustVariable("a", 1, 5, -1)
+	b2 := p2.MustVariable("b", 2, 9, -1)
+	if err := p2.AddConstraint("force", LE, 2.9, Term{a2, 1}, Term{b2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	on2, off2, errOn2, errOff2 := solveBoth(t, p2)
+	if !errors.Is(errOn2, ErrInfeasible) || !errors.Is(errOff2, ErrInfeasible) {
+		t.Fatalf("want Infeasible/Infeasible, got on=%v(%v) off=%v(%v)",
+			on2.Status, errOn2, off2.Status, errOff2)
+	}
+}
+
+// TestPresolveDifferential is the presolve extension of the differential
+// suite: 600 random LPs across the shaped, bound-heavy and degenerate
+// families, each solved presolve-on and presolve-off, requiring identical
+// statuses, objectives within 1e-9 and a model-feasible postsolved point.
+func TestPresolveDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	statuses := map[Status]int{}
+	removedRows, removedCols := 0, 0
+	for trial := 0; trial < 600; trial++ {
+		p := drawDifferentialProblem(rng, trial)
+		on, errOn := p.SolveWithOptions(SolveOptions{})
+		off, errOff := p.SolveWithOptions(SolveOptions{Presolve: PresolveOff})
+		if (errOn == nil) != (errOff == nil) {
+			t.Fatalf("trial %d: presolve-on err %v, presolve-off err %v", trial, errOn, errOff)
+		}
+		if on == nil || off == nil {
+			t.Fatalf("trial %d: nil solution (on=%v off=%v)", trial, errOn, errOff)
+		}
+		if on.Status != off.Status {
+			t.Fatalf("trial %d: presolve-on %v, presolve-off %v", trial, on.Status, off.Status)
+		}
+		statuses[on.Status]++
+		removedRows += on.Stats.RowsRemoved
+		removedCols += on.Stats.ColsRemoved
+		if on.Status != Optimal {
+			continue
+		}
+		tol := 1e-9 * (1 + math.Abs(off.Objective))
+		if !almostEqual(on.Objective, off.Objective, tol) {
+			t.Fatalf("trial %d: objective %v presolve-on vs %v presolve-off",
+				trial, on.Objective, off.Objective)
+		}
+		checkModelFeasible(t, trial, p, on)
+	}
+	if statuses[Optimal] == 0 || statuses[Infeasible] == 0 {
+		t.Fatalf("status distribution too thin: %v", statuses)
+	}
+	if removedRows == 0 || removedCols == 0 {
+		t.Fatalf("presolve removed nothing across 600 instances (rows=%d cols=%d)", removedRows, removedCols)
+	}
+	t.Logf("statuses %v; presolve removed %d rows, %d cols across 600 LPs", statuses, removedRows, removedCols)
+}
+
+// TestPresolveWarmChainStaysWarm pins the warm-start survival contract
+// under presolve: a milp-style chain of bound pins and a sched-style chain
+// of rhs rewrites, each re-solved with SolveFrom under the default
+// presolve, must never fall back to a cold solve, and every warm optimum
+// must match an independent cold presolve-off solve.
+func TestPresolveWarmChainStaysWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9182))
+	nVars, nCons := 18, 10
+	p := NewProblem(Minimize)
+	vars := make([]Var, nVars)
+	for j := range vars {
+		vars[j] = p.MustVariable("x", 0, 5+rng.Float64()*5, -2+rng.Float64()*4)
+	}
+	for i := 0; i < nCons; i++ {
+		terms := make([]Term, 0, nVars)
+		for j := range vars {
+			if rng.Intn(3) > 0 {
+				terms = append(terms, Term{vars[j], -1 + rng.Float64()*3})
+			}
+		}
+		if err := p.AddConstraint("c", LE, 20+rng.Float64()*30, terms...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("root solve: %v", err)
+	}
+	basis := sol.Basis()
+
+	// milp-style: pin a variable per step (lb == ub), warm-restart.
+	for step := 0; step < 8; step++ {
+		v := vars[rng.Intn(nVars)]
+		pin := math.Floor(sol.Value(v))
+		if err := p.SetBounds(v, pin, pin); err != nil {
+			t.Fatal(err)
+		}
+		sol, err = p.SolveFrom(basis)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				break
+			}
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if sol.Stats.ColdFallbacks != 0 {
+			t.Fatalf("step %d: warm chain fell back cold under presolve (%+v)", step, sol.Stats)
+		}
+		cold, errC := p.SolveWithOptions(SolveOptions{Presolve: PresolveOff})
+		if errC != nil {
+			t.Fatalf("step %d cold check: %v", step, errC)
+		}
+		tol := 1e-9 * (1 + math.Abs(cold.Objective))
+		if !almostEqual(sol.Objective, cold.Objective, tol) {
+			t.Fatalf("step %d: warm presolve-on %v vs cold presolve-off %v",
+				step, sol.Objective, cold.Objective)
+		}
+		basis = sol.Basis()
+	}
+
+	// sched-style: rewrite right-hand sides, warm-restart on one basis.
+	for step := 0; step < 8; step++ {
+		for i := 0; i < nCons; i++ {
+			if err := p.SetRHS(i, 20+rng.Float64()*30); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err = p.SolveFrom(basis)
+		if err != nil {
+			t.Fatalf("rhs step %d: %v", step, err)
+		}
+		if sol.Stats.ColdFallbacks != 0 {
+			t.Fatalf("rhs step %d: warm chain fell back cold under presolve (%+v)", step, sol.Stats)
+		}
+		basis = sol.Basis()
+	}
+}
+
+// TestPresolveBasisCrossInstall pins that a basis captured under presolve
+// installs on a presolve-off standardization and vice versa: the same model
+// solved both ways must exchange bases with zero cold fallbacks.
+func TestPresolveBasisCrossInstall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5151))
+	for trial := 0; trial < 40; trial++ {
+		p := drawDifferentialProblem(rng, trial)
+		on, errOn := p.SolveWithOptions(SolveOptions{})
+		if errOn != nil {
+			continue
+		}
+		off, errOff := p.SolveWithOptions(SolveOptions{Presolve: PresolveOff})
+		if errOff != nil || off.Status != Optimal {
+			t.Fatalf("trial %d: presolve disagreement should have failed TestPresolveDifferential", trial)
+		}
+		// presolved basis → full form.
+		warm, err := p.SolveFromWithOptions(on.Basis(), SolveOptions{Presolve: PresolveOff})
+		if err != nil || warm.Stats.ColdFallbacks != 0 {
+			t.Errorf("trial %d: presolved basis on full form: err=%v stats=%+v", trial, err, warm.Stats)
+		}
+		// full basis → presolved form.  Reductions may orphan a basic
+		// identity only when that identity was itself removable; the warm
+		// protection must keep this translating.
+		warm2, err := p.SolveFromWithOptions(off.Basis(), SolveOptions{})
+		if err != nil || warm2.Stats.ColdFallbacks != 0 {
+			t.Errorf("trial %d: full basis on presolved form: err=%v stats=%+v", trial, err, warm2.Stats)
+		}
+	}
+}

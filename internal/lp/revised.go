@@ -1139,7 +1139,8 @@ func (s *standard) solve(warm *Basis, ctl *solveControl, stats *Stats) (Status, 
 	if s.m == 0 {
 		// No rows: every column sits at whichever of its bounds its cost
 		// prefers; a negative cost with no finite upper bound is an
-		// unbounded ray.
+		// unbounded ray.  (Presolve can reach here with model constraints
+		// still on the books — emptyBasis seats their fill columns.)
 		vals := make([]float64, s.nCols)
 		for j := 0; j < s.nTotal; j++ {
 			if s.c[j] < -epsilon {
@@ -1149,7 +1150,7 @@ func (s *standard) solve(warm *Basis, ctl *solveControl, stats *Stats) (Status, 
 				vals[j] = s.upper[j]
 			}
 		}
-		return Optimal, vals, &Basis{}
+		return Optimal, vals, s.emptyBasis(vals)
 	}
 
 	if warm != nil {

@@ -129,6 +129,13 @@ type Solution struct {
 	// between the incumbent and the best open-node relaxation bound at the
 	// moment the search stopped (0 when Proven).
 	Gap float64
+	// LPStats aggregates the simplex and presolve work of every node
+	// relaxation solved during the search — including pruned and infeasible
+	// nodes, whose simplex work is real even though they produced no
+	// incumbent.  LPStats.ColdFallbacks counts warm starts that had to be
+	// abandoned; a healthy branch-and-bound run keeps it at zero beyond the
+	// (intentionally cold) root node.
+	LPStats lp.Stats
 }
 
 // Value returns the value of a variable in the best solution found.
@@ -170,6 +177,12 @@ type Options struct {
 	// Pricing selects the simplex pricing rule for every node relaxation
 	// (the zero value is lp.PricingDevex).
 	Pricing lp.PricingRule
+	// Presolve toggles LP presolve on the node relaxations.  The zero value
+	// runs it: the root node solves cold and gets the full reduction, while
+	// warm-started child nodes re-tighten from their branch bounds without
+	// disturbing the parent basis, so the dual-simplex restart chain stays
+	// warm (lp.SolveOptions.Presolve).
+	Presolve lp.PresolveMode
 }
 
 func (o Options) withDefaults() Options {
@@ -205,14 +218,15 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveWithOptions(Options
 // SolveWithOptions runs branch and bound.
 func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
-	lpOpts := lp.SolveOptions{Deadline: opts.Deadline, Ctx: opts.Ctx, Pricing: opts.Pricing}
+	lpOpts := lp.SolveOptions{Deadline: opts.Deadline, Ctx: opts.Ctx, Pricing: opts.Pricing, Presolve: opts.Presolve}
 
 	if len(p.integers) == 0 {
 		sol, err := p.solveRelaxation(nil, nil, lpOpts)
 		if err != nil {
 			return convertLPFailure(sol, err)
 		}
-		return &Solution{Status: lp.Optimal, Objective: sol.Objective, values: sol.Values(), Nodes: 1, Proven: true}, nil
+		return &Solution{Status: lp.Optimal, Objective: sol.Objective, values: sol.Values(),
+			Nodes: 1, Proven: true, LPStats: sol.Stats}, nil
 	}
 
 	better := func(a, b float64) bool {
@@ -227,6 +241,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 		nodesDone int
 		incumbent = math.Inf(1)
 		queue     []node
+		lpStats   lp.Stats // aggregate simplex/presolve work across every node
 	)
 	if p.sense == lp.Maximize {
 		incumbent = math.Inf(-1)
@@ -236,6 +251,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	for len(queue) > 0 {
 		if stopErr := budgetStop(opts, nodesDone); stopErr != nil {
 			if best != nil {
+				best.LPStats = lpStats
 				return finishPartial(best, nodesDone, queue, incumbent, better), nil
 			}
 			return nil, stopErr
@@ -249,6 +265,9 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 		nodesDone++
 
 		relax, err := p.solveRelaxation(current.bounds, current.basis, lpOpts)
+		if relax != nil {
+			lpStats.Add(relax.Stats) // pruned nodes did simplex work too
+		}
 		if err != nil {
 			if errors.Is(err, lp.ErrInfeasible) {
 				continue // prune
@@ -267,6 +286,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 				// node goes back on the queue so its bound still counts
 				// toward the reported gap.
 				if best != nil {
+					best.LPStats = lpStats
 					queue = append(queue, current)
 					return finishPartial(best, nodesDone, queue, incumbent, better), nil
 				}
@@ -333,6 +353,7 @@ func (p *Problem) SolveWithOptions(opts Options) (*Solution, error) {
 	}
 	best.Nodes = nodesDone
 	best.Proven = true
+	best.LPStats = lpStats
 	return best, nil
 }
 

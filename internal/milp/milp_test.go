@@ -364,3 +364,63 @@ func TestBranchingAddsNoRows(t *testing.T) {
 		t.Errorf("relaxation has %d variables, want %d", got, want)
 	}
 }
+
+// TestPresolveKeepsNodeChainWarm pins the presolve/warm-start contract at
+// the milp layer: with LP presolve on (the default), a branching search
+// must reach the same optimum as with presolve off, and no node's
+// warm-started relaxation may fall back to a cold solve — branch-bound
+// re-tightening under a warm basis has to preserve the parent's basis.
+func TestPresolveKeepsNodeChainWarm(t *testing.T) {
+	build := func() *Problem {
+		rng := rand.New(rand.NewSource(17))
+		p := NewProblem(lp.Maximize)
+		terms := make([]lp.Term, 0, 16)
+		for i := 0; i < 16; i++ {
+			v, err := p.AddBinaryVariable("item", 1+rng.Float64()*9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			terms = append(terms, lp.Term{Var: v, Coeff: 1 + rng.Float64()*9})
+		}
+		if err := p.AddConstraint("capacity", lp.LE, 40, terms...); err != nil {
+			t.Fatal(err)
+		}
+		// A redundant cap and a fixed variable give the root presolve
+		// something to remove.
+		fixed, err := p.AddVariable("fixed", 2, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddConstraint("loose", lp.LE, 1000, append(terms, lp.Term{Var: fixed, Coeff: 1})...); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	on, err := build().SolveWithOptions(Options{})
+	if err != nil {
+		t.Fatalf("presolve-on solve: %v", err)
+	}
+	off, err := build().SolveWithOptions(Options{Presolve: lp.PresolveOff})
+	if err != nil {
+		t.Fatalf("presolve-off solve: %v", err)
+	}
+	if on.Objective != off.Objective {
+		t.Errorf("objective %v presolve-on vs %v presolve-off", on.Objective, off.Objective)
+	}
+	if !on.Proven || !off.Proven {
+		t.Errorf("searches did not close: on=%v off=%v", on.Proven, off.Proven)
+	}
+	if on.Nodes <= 1 {
+		t.Fatalf("instance solved at the root (%d nodes); the warm-chain assertion needs branching", on.Nodes)
+	}
+	if on.LPStats.ColdFallbacks != 0 {
+		t.Errorf("%d cold fallbacks across %d nodes; branch re-tightening must keep parent bases installable (%+v)",
+			on.LPStats.ColdFallbacks, on.Nodes, on.LPStats)
+	}
+	if on.LPStats.RowsRemoved == 0 && on.LPStats.ColsRemoved == 0 {
+		t.Errorf("presolve removed nothing at the root (%+v); the instance was built with removable structure", on.LPStats)
+	}
+	if on.LPStats.Pivots == 0 {
+		t.Errorf("LPStats recorded no simplex work over %d nodes", on.Nodes)
+	}
+}

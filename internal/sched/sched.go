@@ -83,6 +83,11 @@ type Options struct {
 	// Pricing selects the simplex pricing rule for the partition LP (the
 	// zero value is lp.PricingDevex).
 	Pricing lp.PricingRule
+	// Presolve toggles LP presolve on the partition LP (the zero value runs
+	// it).  The first round's cold solve gets the full reduction; warm
+	// rounds re-tighten after the per-round RHS/cost rewrites without
+	// disturbing the carried basis (lp.SolveOptions.Presolve).
+	Presolve lp.PresolveMode
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +185,11 @@ type Plan struct {
 	Degraded bool
 	// DegradedReason describes the solver failure behind a degraded plan.
 	DegradedReason string
+	// LPStats is the partition LP's solve statistics for this round (zero
+	// when the plan is degraded: a fallback plan did no simplex work worth
+	// reporting).  ColdFallbacks stays 0 on warm rounds; RowsRemoved and
+	// ColsRemoved show what presolve stripped.
+	LPStats lp.Stats
 }
 
 // Partition solves the workload-partitioning LP: how much IT power each
@@ -213,7 +223,7 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 		return nil, err
 	}
 
-	lpOpts := lp.SolveOptions{Pricing: s.opts.Pricing}
+	lpOpts := lp.SolveOptions{Pricing: s.opts.Pricing, Presolve: s.opts.Presolve}
 	if s.opts.LPTimeout > 0 {
 		lpOpts.Deadline = time.Now().Add(s.opts.LPTimeout)
 	}
@@ -228,7 +238,7 @@ func (s *Scheduler) Partition(dcs []DatacenterState, totalLoadKW float64) (*Plan
 	}
 	s.basis = sol.Basis()
 
-	plan := &Plan{LoadKW: make([][]float64, n)}
+	plan := &Plan{LoadKW: make([][]float64, n), LPStats: sol.Stats}
 	for d := range dcs {
 		plan.LoadKW[d] = make([]float64, horizon)
 		for h := 0; h < horizon; h++ {

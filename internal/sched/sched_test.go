@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"greencloud/internal/lp"
 	"greencloud/internal/vm"
 )
 
@@ -307,4 +308,55 @@ func TestPartitionCapacityBoundBinds(t *testing.T) {
 	if math.Abs(warm.BrownKWh-cold.BrownKWh) > 1e-6 {
 		t.Errorf("warm BrownKWh %v, cold %v", warm.BrownKWh, cold.BrownKWh)
 	}
+}
+
+// TestPartitionPresolveKeepsRoundsWarm pins the presolve/warm-start
+// contract at the scheduler layer: with presolve on (the default), every
+// round after the first must re-solve warm — zero cold fallbacks, never a
+// degraded plan — and produce the same partition as a presolve-off
+// scheduler fed the identical rounds.
+func TestPartitionPresolveKeepsRoundsWarm(t *testing.T) {
+	const horizon = 24
+	on := New(Options{HorizonHours: horizon, MigrationFraction: 0.1})
+	off := New(Options{HorizonHours: horizon, MigrationFraction: 0.1, Presolve: lp.PresolveOff})
+	for round := 0; round < 6; round++ {
+		dcs := threeDCs(horizon)
+		scale := 1 - 0.05*float64(round)
+		for d := range dcs {
+			for h := range dcs[d].GreenForecastKW {
+				dcs[d].GreenForecastKW[h] *= scale
+			}
+		}
+		load := 270 - 10*float64(round)
+		planOn, err := on.Partition(dcs, load)
+		if err != nil {
+			t.Fatalf("round %d presolve-on: %v", round, err)
+		}
+		planOff, err := off.Partition(threeDCsScaled(horizon, scale), load)
+		_ = planOff
+		if err != nil {
+			t.Fatalf("round %d presolve-off: %v", round, err)
+		}
+		if planOn.Degraded {
+			t.Fatalf("round %d degraded under presolve: %s", round, planOn.DegradedReason)
+		}
+		if math.Abs(planOn.BrownKWh-planOff.BrownKWh) > 1e-6 {
+			t.Errorf("round %d: BrownKWh %v presolve-on vs %v presolve-off", round, planOn.BrownKWh, planOff.BrownKWh)
+		}
+		if round > 0 && planOn.LPStats.ColdFallbacks != 0 {
+			t.Errorf("round %d fell back cold under presolve (%+v)", round, planOn.LPStats)
+		}
+	}
+}
+
+// threeDCsScaled is threeDCs with every green forecast scaled, so the
+// presolve-off scheduler in the warm-round test sees the same inputs.
+func threeDCsScaled(horizon int, scale float64) []DatacenterState {
+	dcs := threeDCs(horizon)
+	for d := range dcs {
+		for h := range dcs[d].GreenForecastKW {
+			dcs[d].GreenForecastKW[h] *= scale
+		}
+	}
+	return dcs
 }

@@ -176,12 +176,18 @@ type Trace struct {
 // emulation setup, repeated experiment runs) would otherwise pay that cost
 // on every call.  A Trace is immutable outside generation (every Hourly
 // accessor returns a copy), which is what makes sharing the cached
-// instance safe.  The map is dropped wholesale once it holds
-// maxCachedTraces entries: a seed sweep then regenerates instead of
-// accumulating ~280 KB per trace without bound.
+// instance safe.  Eviction is a deterministic insertion-order ring: once
+// the cache holds maxCachedTraces entries, inserting a new trace evicts
+// the oldest-inserted one (ring[next]), so a seed sweep cycles through the
+// window one entry at a time instead of dropping the whole map — the
+// ~(maxCachedTraces−1) still-hot traces of an interleaved workload survive
+// a sweep, and which entry goes is a function of insertion history alone,
+// never of map iteration order.
 var traceCache struct {
 	sync.Mutex
-	m map[traceKey]*Trace
+	m    map[traceKey]*Trace
+	ring [maxCachedTraces]traceKey // insertion order; valid for len(m) entries
+	next int                       // ring slot the next insertion overwrites
 }
 
 type traceKey struct {
@@ -206,11 +212,15 @@ func Generate(a Archetype, seed int64) *Trace {
 	traceCache.Unlock()
 	tr := generate(a, seed)
 	traceCache.Lock()
-	if len(traceCache.m) >= maxCachedTraces {
-		traceCache.m = nil
-	}
 	if traceCache.m == nil {
 		traceCache.m = make(map[traceKey]*Trace, maxCachedTraces)
+	}
+	if _, ok := traceCache.m[key]; !ok {
+		if len(traceCache.m) >= maxCachedTraces {
+			delete(traceCache.m, traceCache.ring[traceCache.next])
+		}
+		traceCache.ring[traceCache.next] = key
+		traceCache.next = (traceCache.next + 1) % maxCachedTraces
 	}
 	traceCache.m[key] = tr
 	traceCache.Unlock()

@@ -158,3 +158,46 @@ func TestClearSkyIrradianceGeometry(t *testing.T) {
 		t.Error("polar irradiance must not be NaN")
 	}
 }
+
+// TestTraceCacheRingEviction pins the cache's eviction policy: insertion-
+// order FIFO, one entry at a time.  Cache hits are observable as pointer
+// identity (Generate returns the shared cached *Trace), so the test checks
+// that an old entry survives until exactly maxCachedTraces newer distinct
+// keys have been inserted, and that the newest entries always survive a
+// sweep — the property the old drop-the-whole-map policy lacked.
+func TestTraceCacheRingEviction(t *testing.T) {
+	const base = int64(9_000_000_000) // seeds no other test uses
+	first := Generate(Desert, base)
+	if Generate(Desert, base) != first {
+		t.Fatal("immediate second Generate did not hit the cache")
+	}
+	// Fill the window with maxCachedTraces-1 more keys: first must survive
+	// (it is at most maxCachedTraces-th oldest among our insertions).
+	var last *Trace
+	for i := int64(1); i < maxCachedTraces; i++ {
+		last = Generate(Desert, base+i)
+	}
+	if Generate(Desert, base) != first {
+		t.Fatal("entry evicted before the window filled past it")
+	}
+	// A full window of strictly newer keys must push out every older entry…
+	for i := int64(maxCachedTraces); i < 2*maxCachedTraces; i++ {
+		Generate(Desert, base+i)
+	}
+	if Generate(Desert, base) == first {
+		t.Fatal("oldest entry survived a full window of newer insertions")
+	}
+	// …but the sweep evicts one-at-a-time: the (maxCachedTraces-1)-th key of
+	// the first batch was still within the window during the second batch
+	// only until its slot came around again — the newest second-batch keys,
+	// though, are all still cached.
+	if got := Generate(Desert, base+2*maxCachedTraces-1); got == nil {
+		t.Fatal("nil trace")
+	} else if Generate(Desert, base+2*maxCachedTraces-1) != got {
+		t.Fatal("newest entry did not stay cached")
+	}
+	if len(traceCache.m) > maxCachedTraces {
+		t.Fatalf("cache holds %d entries, cap is %d", len(traceCache.m), maxCachedTraces)
+	}
+	_ = last
+}
