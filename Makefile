@@ -11,9 +11,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: ci vet lint fmt-check build test test-faults cover bench-smoke bench-check bench profile
+.PHONY: ci vet lint fmt-check build test test-daemon test-mps test-faults cover bench-smoke bench-check bench profile
 
-ci: vet build test test-faults bench-smoke
+ci: vet build test test-mps test-faults bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,8 +46,30 @@ fmt-check:
 build:
 	$(GO) build ./...
 
+# The unit/library suite.  The serving-layer packages (the plannerd daemon
+# and its exec-driven smoke tests, which build binaries, bind sockets and
+# kill processes) run under their own budget in `make test-daemon` — CI's
+# daemon-smoke job — so an integration hang can never eat the library
+# suite's 2400s budget, and vice versa.
+DAEMON_PKGS := greencloud/internal/plan greencloud/cmd/plannerd
+
 test:
-	$(GO) test -race -timeout 2400s ./...
+	$(GO) test -race -timeout 2400s $$($(GO) list ./... | grep -v -x -e 'greencloud/internal/plan' -e 'greencloud/cmd/plannerd')
+
+# The continuous-planning daemon suites: the internal/plan package tests
+# (batch equivalence, snapshot resume, concurrent what-ifs under -race) and
+# the cmd/plannerd process-level smoke (build the real binary, drive it over
+# HTTP, SIGKILL it, restart from snapshot).  Daemon stderr lands in
+# testlogs/, which the CI daemon-smoke job uploads when this target fails.
+test-daemon:
+	$(GO) test -race -timeout 600s $(DAEMON_PKGS)
+
+# The vendored-MPS interchange gate: cmd/lpsolve must reproduce the
+# committed reference objective of every instance under testdata/mps/ (see
+# testdata/mps/objectives.tsv), under both pricing rules, with presolve off,
+# and across a WriteMPS round trip.
+test-mps:
+	$(GO) test -run TestVendoredMPS -count=1 ./cmd/lpsolve/
 
 # The fault-injection and resilience suites, run explicitly and under -race:
 # every rung of the lp recovery ladder (singular-basis repair, cold retry,
@@ -84,7 +106,11 @@ cover:
 # pivots/op metric) compiling and running, and BenchmarkLPPresolve keeps the
 # presolve on/off A/B (with its rows_removed/cols_removed metrics) alive —
 # each sub-benchmark at -benchtime=1x costs a few milliseconds.
-BENCH_SMOKE := ^(BenchmarkCalibration|BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkLPPricing|BenchmarkLPPresolve|BenchmarkEmulDay)$$
+# BenchmarkPlannerTick measures the continuous planner's steady-state warm
+# tick (streamed ingest + RHS rewrite + warm re-solve + publish) — the
+# latency a plannerd client sees on POST /tick — and fails if a measured
+# tick falls back cold.
+BENCH_SMOKE := ^(BenchmarkCalibration|BenchmarkEvaluateSteadyState|BenchmarkEvaluateDeltaMove|BenchmarkLPResolve|BenchmarkLPBounded|BenchmarkLPPricing|BenchmarkLPPresolve|BenchmarkEmulDay|BenchmarkPlannerTick)$$
 
 bench-smoke:
 	$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run '^$$' .

@@ -11,6 +11,7 @@ import (
 	"greencloud/internal/experiments"
 	"greencloud/internal/location"
 	"greencloud/internal/lp"
+	"greencloud/internal/plan"
 	"greencloud/internal/series"
 	"greencloud/internal/vm"
 	"greencloud/internal/wan"
@@ -299,6 +300,37 @@ func BenchmarkEmulDay(b *testing.B) {
 		}
 		if res.Migrations == 0 {
 			b.Fatal("emulation produced no migrations")
+		}
+	}
+}
+
+// BenchmarkPlannerTick measures the continuous planner's steady-state tick:
+// ingest one streamed hour, rewrite the RHS/bounds of the structure-cached
+// partition LP, re-solve warm from the carried basis, execute the migration
+// schedule and publish the new serving view.  This is the latency a plannerd
+// client sees on POST /tick once the daemon is warm; the benchmark fails if
+// any measured tick falls back to a cold solve.
+func BenchmarkPlannerTick(b *testing.B) {
+	d, err := plan.New(plan.Config{Trace: plan.TraceSpec{}})
+	if err != nil {
+		b.Fatalf("build daemon: %v", err)
+	}
+	// Warm up past the first (cold-by-construction) solve.
+	for i := 0; i < 2; i++ {
+		if _, err := d.Tick(plan.TickRequest{}); err != nil {
+			b.Fatalf("warmup tick: %v", err)
+		}
+	}
+	base := d.PlanView().CumLPStats.ColdFallbacks
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view, err := d.Tick(plan.TickRequest{})
+		if err != nil {
+			b.Fatalf("tick: %v", err)
+		}
+		if view.CumLPStats.ColdFallbacks != base {
+			b.Fatal("steady-state tick fell back cold")
 		}
 	}
 }

@@ -190,6 +190,49 @@
 // is a contract, gated by benchjson alongside ns/op);  BenchmarkEmulScale
 // holds thousands of VMs per emulated hour.
 //
+// # Serving: the continuous-planning daemon
+//
+// internal/plan and cmd/plannerd turn the batch emulation into a service:
+// plannerd keeps a live follow-the-renewables plan for one emulated
+// network, ingests streamed hourly updates and serves HTTP/JSON on
+// localhost — GET /plan (the current plan and cumulative statistics),
+// POST /tick (feed the next hour, optionally with per-site green-energy
+// scale adjustments standing in for revised weather), POST /whatif (price
+// a hypothetical siting interactively).  Each tick is an incremental
+// re-plan, not a fresh solve: the scheduler's partition LP keeps its
+// structure cached across ticks, the streamed update rewrites only
+// RHS/bounds/cost data, and the solve warm-starts from the carried
+// lp.Basis — a healthy tick stream runs at zero cold fallbacks for the
+// daemon's entire lifetime (Stats.ColdFallbacks counts abandoned warm
+// starts, and the first solve of a fresh daemon carries no basis, so the
+// CI smoke asserts the counter is exactly 0 across all ticks).  At the
+// 3-datacenter/9-VM validation scale a steady-state tick is sub-millisecond
+// (BenchmarkPlannerTick gates it, with allocs, in BENCH_SMOKE).
+//
+// Concurrency model: one mutex serializes the tick path (runner stepping +
+// snapshot writes); the serving state is an immutable-once-published
+// PlanView swapped behind an RWMutex, so GET /plan never waits on an
+// in-flight solve.  What-if queries run on per-session core.Evaluators —
+// distinct sessions price candidates in parallel, repeated queries within a
+// session reuse its memoized per-site stages, and an LRU cap bounds the
+// session table.  Shutdown is cooperative via context.Context: SIGTERM
+// stops new work, in-flight requests finish.
+//
+// Durability: after every tick the daemon atomically rewrites a versioned,
+// FNV-checksummed snapshot — the trace identity, the per-tick migration
+// schedule log, the streamed adjustments in effect, the current warm basis
+// (lp.Basis.MarshalBinary, itself a checksummed binary format) and the
+// serving view.  A restarted daemon replays the schedule log against a
+// fresh trace start (pure fleet/GDFS bookkeeping, no LP work — the same
+// event-sourcing trick the emulation determinism tests use), installs the
+// decoded basis and resumes: the continued tick stream is bit-identical to
+// a daemon that was never stopped and its first solve starts warm.  A
+// missing, truncated, corrupted or foreign-trace snapshot is rejected as a
+// unit and the daemon starts cold from the trace beginning — never
+// half-restored.  `make test-daemon` (CI's daemon-smoke job) pins all of
+// this through the real binary: HTTP ticks bit-identical to a batch
+// emul.Runner, SIGKILL mid-stream, warm resume from the snapshot.
+//
 // # Failure semantics: budgets, recovery, degradation
 //
 // No exported API panics on valid inputs; everything that can go wrong is

@@ -28,12 +28,15 @@ package emul
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"greencloud/internal/gdfs"
 	"greencloud/internal/location"
+	"greencloud/internal/lp"
 	"greencloud/internal/migrate"
 	"greencloud/internal/nebula"
 	"greencloud/internal/predict"
@@ -91,6 +94,11 @@ type Config struct {
 	// bit-identical at any setting: moves are sharded per destination and
 	// merged in a fixed order.
 	Parallelism int
+	// LPTimeout, when positive, bounds each scheduling round's partition
+	// LP solve (sched.Options.LPTimeout): a round that overruns degrades
+	// to the static greedy split instead of blocking the hour.  A serving
+	// daemon sets this so a tick can never stall its control loop.
+	LPTimeout time.Duration
 }
 
 // HourRecord is one datacenter-hour of the emulation trace — the data behind
@@ -210,6 +218,44 @@ type Runner struct {
 	migOut     []int
 	shards     []moveShard
 	movedOut   map[string]struct{}
+
+	// Streaming state: the tick counter advanced by Step/Replay, the
+	// per-datacenter green-production scale (streamed weather updates;
+	// all-ones by default, which multiplies exactly) and the Tick scratch
+	// the step API hands back.
+	hour       int
+	greenScale []float64
+	tick       Tick
+}
+
+// Tick is the outcome of one emulated hour produced by Step (or Replay).
+// Records and Moves alias Runner-owned scratch and are valid only until the
+// next Step/Replay call; callers that retain them must copy.
+type Tick struct {
+	// Index is the 0-based tick number since Start.
+	Index int
+	// AbsHour is the absolute hour of the year trace this tick emulated.
+	AbsHour int
+	// Records holds one HourRecord per datacenter, in configuration order.
+	Records []HourRecord
+	// Plan is the scheduling round's partition plan (nil on Replay ticks,
+	// which execute a recorded schedule without re-planning).
+	Plan *sched.Plan
+	// Moves is the migration schedule this tick executed — the replay log a
+	// snapshot needs to reconstruct fleet and disk state deterministically.
+	Moves []sched.Migration
+	// Migrations is how many scheduled moves actually executed (a receiver
+	// at capacity rolls the move back).
+	Migrations int
+	// LPStats is the partition LP's work for this round; ColdFallbacks
+	// stays 0 across healthy warm ticks.
+	LPStats lp.Stats
+	// Degraded reports a tick whose plan fell back to the static greedy
+	// split (solver failure or LPTimeout).
+	Degraded bool
+	// SchedulerNanos is the wall-clock planning time of this tick (zero on
+	// Replay); it is the one non-deterministic field.
+	SchedulerNanos int64
 }
 
 // NewRunner validates the configuration and builds the immutable parts of
@@ -309,6 +355,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.scheduler = sched.New(sched.Options{
 		HorizonHours:      cfg.HorizonHours,
 		MigrationFraction: cfg.MigrationFraction,
+		LPTimeout:         cfg.LPTimeout,
 	})
 	r.totalVMPowerKW = cfg.VMs.TotalPowerW() / 1000
 
@@ -340,6 +387,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.shards[i].out = make([]int, n)
 	}
 	r.movedOut = make(map[string]struct{}, len(cfg.VMs))
+	r.greenScale = make([]float64, n)
+	for i := range r.greenScale {
+		r.greenScale[i] = 1
+	}
+	r.tick.Records = make([]HourRecord, n)
 	return r, nil
 }
 
@@ -418,118 +470,229 @@ func (r *Runner) reset() error {
 	return nil
 }
 
-// Run executes the emulation.  The returned Result is freshly allocated
-// and does not alias the Runner's scratch.
+// Run executes the emulation batch-style: Start, then one Step per
+// configured hour, summarized into a Result.  The returned Result is
+// freshly allocated and does not alias the Runner's scratch.
 func (r *Runner) Run() (*Result, error) {
-	if err := r.reset(); err != nil {
+	if err := r.Start(); err != nil {
 		return nil, err
 	}
 	cfg := &r.cfg
-	n := len(cfg.Datacenters)
-	res := &Result{Trace: make([]HourRecord, 0, cfg.Hours*n)}
+	res := &Result{Trace: make([]HourRecord, 0, cfg.Hours*len(cfg.Datacenters))}
 	var schedNanosTotal int64
-	var schedRounds int64
-
 	for hour := 0; hour < cfg.Hours; hour++ {
-		absHour := cfg.StartHour + hour
-
-		// Build the scheduler's view of each datacenter in the Runner's
-		// scratch: forecast and PUE horizon windows are Block rows, the
-		// placements map points at the maintained (footprint-sorted)
-		// fleets so MigrationSchedule skips its copy-and-sort.
-		for i, dc := range cfg.Datacenters {
-			forecast := r.windows.Row(i)
-			if err := r.predictors[i].PredictInto(forecast, absHour%len(r.green[i])); err != nil {
-				return nil, err
-			}
-			pues := r.windows.Row(n + i)
-			fillWrapped(pues, r.pue[i], absHour)
-			r.states[i] = sched.DatacenterState{
-				Name:               dc.Name,
-				CapacityKW:         dc.CapacityKW,
-				CurrentLoadKW:      r.loadKWOf(i),
-				GreenForecastKW:    forecast,
-				PUE:                pues,
-				GridPriceUSDPerKWh: dc.Site.GridPriceUSDPerKWh,
-			}
-			r.placements[dc.Name] = r.fleets[i]
-		}
-
-		start := nowNanos()
-		plan, err := r.scheduler.Partition(r.states, r.totalVMPowerKW)
-		if err != nil {
-			return nil, fmt.Errorf("emul: hour %d: %w", hour, err)
-		}
-		moves, err := r.scheduler.MigrationSchedule(r.states, r.placements, plan, r.network.Distance)
+		tick, err := r.Step()
 		if err != nil {
 			return nil, err
 		}
-		elapsed := nowNanos() - start
-		schedNanosTotal += elapsed
-		schedRounds++
-
-		migrations, err := r.executeMoves(moves)
-		if err != nil {
-			return nil, err
-		}
-		res.Migrations += migrations
-
-		// Background GDFS re-replication catches the destinations up.
-		r.cluster.ReplicateOnce()
-
-		// Simulate the hour: VMs dirty disk blocks at their home site.
-		for vi := range cfg.VMs {
-			machine := &cfg.VMs[vi]
-			fi := r.files[vi]
-			client := r.clients[r.home[vi]]
-			dirtyBlocks := int(machine.DiskDirtyMBPerHour*(1<<20)/float64(fi.BlockSize)) + 1
-			for b := 0; b < dirtyBlocks && b < len(fi.Blocks); b++ {
-				block := (hour*dirtyBlocks + b) % len(fi.Blocks)
-				if err := client.DirtyBlock(fi, block); err != nil {
-					return nil, err
-				}
-			}
-		}
-
-		// Record the trace for this hour.
-		for i, dc := range cfg.Datacenters {
-			loadKW := r.loadKWOf(i)
-			pue := r.pue[i][absHour%len(r.pue[i])]
-			overheadKW := loadKW * (pue - 1)
-			greenKW := r.green[i][absHour%len(r.green[i])]
-			migKW := r.migEnergy[i] // one-hour epochs: kWh == kW
-			demandKW := loadKW + overheadKW + migKW
-			brownKW := demandKW - greenKW
-			if brownKW < 0 {
-				brownKW = 0
-			}
-			res.Trace = append(res.Trace, HourRecord{
-				Hour:           hour,
-				Datacenter:     dc.Name,
-				GreenKW:        greenKW,
-				LoadKW:         loadKW,
-				PUEOverheadKW:  overheadKW,
-				MigrationKW:    migKW,
-				BrownKW:        brownKW,
-				VMCount:        len(r.fleets[i]),
-				MigrationsIn:   r.migIn[i],
-				MigrationsOut:  r.migOut[i],
-				MigratedBytes:  r.migBytes[i],
-				SchedulerNanos: elapsed,
-			})
-			res.TotalDemandKWh += demandKW
-			res.TotalBrownKWh += brownKW
-			res.TotalGreenKWh += demandKW - brownKW
-			res.TotalMigrationKWh += migKW
-		}
+		schedNanosTotal += tick.SchedulerNanos
+		res.Accumulate(tick)
 	}
-	if schedRounds > 0 {
-		res.AvgScheduleNanos = schedNanosTotal / schedRounds
+	if cfg.Hours > 0 {
+		res.AvgScheduleNanos = schedNanosTotal / int64(cfg.Hours)
 	}
 	if res.TotalDemandKWh > 0 {
 		res.GreenFraction = res.TotalGreenKWh / res.TotalDemandKWh
 	}
 	return res, nil
+}
+
+// Accumulate folds one tick into the running totals and appends copies of
+// its records to the trace, exactly as the batch hour loop always has (same
+// addition order, so batch and streamed accounting stay bit-identical).
+func (res *Result) Accumulate(tick *Tick) {
+	res.Migrations += tick.Migrations
+	for i := range tick.Records {
+		rec := &tick.Records[i]
+		demandKW := rec.LoadKW + rec.PUEOverheadKW + rec.MigrationKW
+		res.Trace = append(res.Trace, *rec)
+		res.TotalDemandKWh += demandKW
+		res.TotalBrownKWh += rec.BrownKW
+		res.TotalGreenKWh += demandKW - rec.BrownKW
+		res.TotalMigrationKWh += rec.MigrationKW
+	}
+}
+
+// Start (re)initializes the streamed emulation: per-run cluster state is
+// rebuilt, all VMs return to the first datacenter, the tick counter resets
+// and the scheduler's warm basis is dropped (the LP structure survives).
+// Streamed green-scale adjustments persist across Start — they are input
+// state, not run state.
+func (r *Runner) Start() error {
+	if err := r.reset(); err != nil {
+		return err
+	}
+	r.hour = 0
+	return nil
+}
+
+// Ticks returns how many ticks have run since Start.
+func (r *Runner) Ticks() int { return r.hour }
+
+// Datacenters returns the configured datacenter names in order (a copy).
+func (r *Runner) Datacenters() []string {
+	return append([]string(nil), r.names...)
+}
+
+// WarmBasis exposes the scheduler's carried partition-LP basis for
+// snapshotting; SetWarmBasis installs one (typically decoded from a
+// snapshot) so the next Step re-plans warm.
+func (r *Runner) WarmBasis() *lp.Basis     { return r.scheduler.WarmBasis() }
+func (r *Runner) SetWarmBasis(b *lp.Basis) { r.scheduler.SetWarmBasis(b) }
+
+// SetGreenScale ingests a streamed weather update: from the next tick on,
+// datacenter name's green production — realized and forecast — is scaled by
+// the given factor (1 restores the trace).  A scale change is a pure
+// RHS rewrite of the partition LP, so the warm chain stays warm.
+func (r *Runner) SetGreenScale(name string, scale float64) error {
+	i, ok := r.dcIndex[name]
+	if !ok {
+		return fmt.Errorf("emul: unknown datacenter %q", name)
+	}
+	if scale < 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return fmt.Errorf("emul: invalid green scale %v", scale)
+	}
+	r.greenScale[i] = scale
+	return nil
+}
+
+// Step emulates the next hour: build the scheduler's view, re-plan (a warm
+// incremental re-solve of the structure-cached partition LP), execute the
+// migration schedule, replicate, dirty disks and record the hour.  The
+// returned Tick aliases Runner scratch (see Tick).
+func (r *Runner) Step() (*Tick, error) {
+	absHour := r.cfg.StartHour + r.hour
+	if err := r.buildStates(absHour); err != nil {
+		return nil, err
+	}
+	start := nowNanos()
+	plan, err := r.scheduler.Partition(r.states, r.totalVMPowerKW)
+	if err != nil {
+		return nil, fmt.Errorf("emul: hour %d: %w", r.hour, err)
+	}
+	moves, err := r.scheduler.MigrationSchedule(r.states, r.placements, plan, r.network.Distance)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := nowNanos() - start
+	tick, err := r.finishTick(absHour, moves, elapsed)
+	if err != nil {
+		return nil, err
+	}
+	tick.Plan = plan
+	tick.LPStats = plan.LPStats
+	tick.Degraded = plan.Degraded
+	return tick, nil
+}
+
+// Replay emulates the next hour by executing a previously recorded
+// migration schedule without re-planning.  Given the same Start state and
+// the same schedules in the same order, the fleet, disk and accounting
+// state after each Replay is bit-identical to the Step that recorded it —
+// this is how a daemon restores from a snapshot: replay the logged
+// schedules (no LP work), then install the snapshotted basis and resume
+// warm Steps.
+func (r *Runner) Replay(moves []sched.Migration) (*Tick, error) {
+	absHour := r.cfg.StartHour + r.hour
+	if err := r.buildStates(absHour); err != nil {
+		return nil, err
+	}
+	return r.finishTick(absHour, moves, 0)
+}
+
+// buildStates fills the scheduler's view of each datacenter in the Runner's
+// scratch: forecast and PUE horizon windows are Block rows (forecasts
+// scaled by any streamed weather update), the placements map points at the
+// maintained (footprint-sorted) fleets so MigrationSchedule skips its
+// copy-and-sort.
+func (r *Runner) buildStates(absHour int) error {
+	cfg := &r.cfg
+	n := len(cfg.Datacenters)
+	for i, dc := range cfg.Datacenters {
+		forecast := r.windows.Row(i)
+		if err := r.predictors[i].PredictInto(forecast, absHour%len(r.green[i])); err != nil {
+			return err
+		}
+		if r.greenScale[i] != 1 {
+			series.Scale(forecast, r.greenScale[i], forecast)
+		}
+		pues := r.windows.Row(n + i)
+		fillWrapped(pues, r.pue[i], absHour)
+		r.states[i] = sched.DatacenterState{
+			Name:               dc.Name,
+			CapacityKW:         dc.CapacityKW,
+			CurrentLoadKW:      r.loadKWOf(i),
+			GreenForecastKW:    forecast,
+			PUE:                pues,
+			GridPriceUSDPerKWh: dc.Site.GridPriceUSDPerKWh,
+		}
+		r.placements[dc.Name] = r.fleets[i]
+	}
+	return nil
+}
+
+// finishTick executes a migration schedule and completes the hour:
+// re-replication, disk dirtying, per-datacenter records, tick advance.
+func (r *Runner) finishTick(absHour int, moves []sched.Migration, elapsed int64) (*Tick, error) {
+	cfg := &r.cfg
+	hour := r.hour
+	migrations, err := r.executeMoves(moves)
+	if err != nil {
+		return nil, err
+	}
+
+	// Background GDFS re-replication catches the destinations up.
+	r.cluster.ReplicateOnce()
+
+	// Simulate the hour: VMs dirty disk blocks at their home site.
+	for vi := range cfg.VMs {
+		machine := &cfg.VMs[vi]
+		fi := r.files[vi]
+		client := r.clients[r.home[vi]]
+		dirtyBlocks := int(machine.DiskDirtyMBPerHour*(1<<20)/float64(fi.BlockSize)) + 1
+		for b := 0; b < dirtyBlocks && b < len(fi.Blocks); b++ {
+			block := (hour*dirtyBlocks + b) % len(fi.Blocks)
+			if err := client.DirtyBlock(fi, block); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Record the hour, one record per datacenter.
+	tick := &r.tick
+	*tick = Tick{Index: hour, AbsHour: absHour, Records: tick.Records[:0],
+		Moves: moves, Migrations: migrations, SchedulerNanos: elapsed}
+	for i, dc := range cfg.Datacenters {
+		loadKW := r.loadKWOf(i)
+		pue := r.pue[i][absHour%len(r.pue[i])]
+		overheadKW := loadKW * (pue - 1)
+		greenKW := r.green[i][absHour%len(r.green[i])]
+		if r.greenScale[i] != 1 {
+			greenKW *= r.greenScale[i]
+		}
+		migKW := r.migEnergy[i] // one-hour epochs: kWh == kW
+		demandKW := loadKW + overheadKW + migKW
+		brownKW := demandKW - greenKW
+		if brownKW < 0 {
+			brownKW = 0
+		}
+		tick.Records = append(tick.Records, HourRecord{
+			Hour:           hour,
+			Datacenter:     dc.Name,
+			GreenKW:        greenKW,
+			LoadKW:         loadKW,
+			PUEOverheadKW:  overheadKW,
+			MigrationKW:    migKW,
+			BrownKW:        brownKW,
+			VMCount:        len(r.fleets[i]),
+			MigrationsIn:   r.migIn[i],
+			MigrationsOut:  r.migOut[i],
+			MigratedBytes:  r.migBytes[i],
+			SchedulerNanos: elapsed,
+		})
+	}
+	r.hour++
+	return tick, nil
 }
 
 // fillWrapped fills dst with src values starting at absolute hour `from`,

@@ -1,0 +1,177 @@
+package lp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Basis snapshot encoding.  A warm-start Basis is keyed by model-level
+// column identities (see basis.go), which makes it meaningful across
+// process restarts: a daemon that persists the basis of its last healthy
+// solve can re-install it on a freshly rebuilt Problem of the same model
+// and resume warm instead of cold.  The encoding is a small, versioned,
+// checksummed binary format:
+//
+//	magic "GNB1"
+//	uvarint nRows,   then per row:    kind byte, uvarint idx
+//	uvarint nUpper,  then per entry:  kind byte, uvarint idx
+//	uvarint nDevex,  then per entry:  kind byte, uvarint idx, float64 bits (LE)
+//	8-byte FNV-1a 64 checksum of everything above
+//
+// DecodeBasis validates the magic, the checksum, every identity kind, the
+// finiteness of every devex weight and that the buffer is consumed exactly,
+// so a truncated or corrupted snapshot is rejected with ErrBasisEncoding
+// rather than installed; and because installBasis re-validates identities
+// against the live model anyway, even a stale-but-well-formed basis can
+// cost at most a cold fallback, never correctness.
+
+// ErrBasisEncoding is returned by DecodeBasis for data that is not a valid
+// basis snapshot (wrong magic, truncation, checksum mismatch, out-of-range
+// identity kinds or non-finite weights).
+var ErrBasisEncoding = errors.New("lp: invalid basis encoding")
+
+// basisMagic versions the snapshot format; bump it on layout changes so an
+// old daemon snapshot decodes to a clean error instead of garbage.
+var basisMagic = [4]byte{'G', 'N', 'B', '1'}
+
+// MarshalBinary encodes the basis for persistence.  The encoding is
+// deterministic: the same Basis always yields the same bytes.
+func (b *Basis) MarshalBinary() ([]byte, error) {
+	if b == nil {
+		return nil, fmt.Errorf("%w: nil basis", ErrBasisEncoding)
+	}
+	if len(b.devexCols) != len(b.devexW) {
+		return nil, fmt.Errorf("%w: devex identity/weight length mismatch", ErrBasisEncoding)
+	}
+	buf := make([]byte, 0, 4+10*(len(b.cols)+len(b.upper))+18*len(b.devexW)+8)
+	buf = append(buf, basisMagic[:]...)
+	buf = appendIdents(buf, b.cols)
+	buf = appendIdents(buf, b.upper)
+	buf = binary.AppendUvarint(buf, uint64(len(b.devexCols)))
+	for k, cid := range b.devexCols {
+		if math.IsInf(b.devexW[k], 0) || math.IsNaN(b.devexW[k]) {
+			return nil, fmt.Errorf("%w: non-finite devex weight", ErrBasisEncoding)
+		}
+		buf = appendIdent(buf, cid)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.devexW[k]))
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum(buf), nil
+}
+
+// DecodeBasis decodes a snapshot produced by MarshalBinary.  The returned
+// Basis is freshly allocated (it never aliases data) and ready for
+// SolveFrom; invalid input returns an error wrapping ErrBasisEncoding.
+func DecodeBasis(data []byte) (*Basis, error) {
+	if len(data) < len(basisMagic)+8 {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrBasisEncoding, len(data))
+	}
+	if [4]byte(data[:4]) != basisMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBasisEncoding)
+	}
+	payload, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if binary.BigEndian.Uint64(sum) != h.Sum64() { // fnv's Sum appends big-endian
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBasisEncoding)
+	}
+	r := payload[4:]
+	b := &Basis{}
+	var err error
+	if b.cols, r, err = decodeIdents(r); err != nil {
+		return nil, err
+	}
+	if b.upper, r, err = decodeIdents(r); err != nil {
+		return nil, err
+	}
+	nDevex, r, err := decodeCount(r, 9) // kind + idx + 8 weight bytes
+	if err != nil {
+		return nil, err
+	}
+	if nDevex > 0 {
+		b.devexCols = make([]colIdent, nDevex)
+		b.devexW = make([]float64, nDevex)
+		for k := 0; k < nDevex; k++ {
+			if b.devexCols[k], r, err = decodeIdent(r); err != nil {
+				return nil, err
+			}
+			if len(r) < 8 {
+				return nil, fmt.Errorf("%w: truncated devex weight", ErrBasisEncoding)
+			}
+			w := math.Float64frombits(binary.LittleEndian.Uint64(r))
+			r = r[8:]
+			if math.IsInf(w, 0) || math.IsNaN(w) {
+				return nil, fmt.Errorf("%w: non-finite devex weight", ErrBasisEncoding)
+			}
+			b.devexW[k] = w
+		}
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBasisEncoding, len(r))
+	}
+	return b, nil
+}
+
+func appendIdents(buf []byte, ids []colIdent) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, cid := range ids {
+		buf = appendIdent(buf, cid)
+	}
+	return buf
+}
+
+func appendIdent(buf []byte, cid colIdent) []byte {
+	buf = append(buf, byte(cid.kind))
+	return binary.AppendUvarint(buf, uint64(cid.idx))
+}
+
+// decodeCount reads a length prefix and sanity-checks it against the bytes
+// remaining (each encoded entry occupies at least minEntryBytes), so a
+// corrupted length cannot drive a huge allocation.
+func decodeCount(r []byte, minEntryBytes int) (int, []byte, error) {
+	v, n := binary.Uvarint(r)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad length prefix", ErrBasisEncoding)
+	}
+	r = r[n:]
+	if v > uint64(len(r)/minEntryBytes)+1 || v > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("%w: implausible entry count %d", ErrBasisEncoding, v)
+	}
+	return int(v), r, nil
+}
+
+func decodeIdents(r []byte) ([]colIdent, []byte, error) {
+	n, r, err := decodeCount(r, 2) // kind byte + ≥1 idx byte
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, r, nil
+	}
+	ids := make([]colIdent, n)
+	for i := 0; i < n; i++ {
+		if ids[i], r, err = decodeIdent(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ids, r, nil
+}
+
+func decodeIdent(r []byte) (colIdent, []byte, error) {
+	if len(r) < 2 {
+		return colIdent{}, nil, fmt.Errorf("%w: truncated identity", ErrBasisEncoding)
+	}
+	kind := int8(r[0])
+	if kind < identStruct || kind > identArt {
+		return colIdent{}, nil, fmt.Errorf("%w: unknown identity kind %d", ErrBasisEncoding, kind)
+	}
+	idx, n := binary.Uvarint(r[1:])
+	if n <= 0 || idx > math.MaxInt32 {
+		return colIdent{}, nil, fmt.Errorf("%w: bad identity index", ErrBasisEncoding)
+	}
+	return colIdent{kind: kind, idx: int(idx)}, r[1+n:], nil
+}

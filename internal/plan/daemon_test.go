@@ -1,0 +1,352 @@
+package plan
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"greencloud/internal/emul"
+)
+
+// testSpec is a small trace: short horizon keeps each tick's LP cheap so the
+// full suite stays inside the daemon test budget.
+func testSpec() TraceSpec {
+	return TraceSpec{Sites: 60, Seed: 21, Datacenters: 3, VMs: 9, HorizonHours: 12}
+}
+
+// stripRecords zeroes the wall-clock field, the only nondeterminism in an
+// HourRecord.
+func stripRecords(recs []emul.HourRecord) []emul.HourRecord {
+	out := append([]emul.HourRecord(nil), recs...)
+	for i := range out {
+		out[i].SchedulerNanos = 0
+	}
+	return out
+}
+
+// batchRecords runs the same trace through the batch emul.Runner and returns
+// the per-tick records (nanos stripped): the reference the daemon must match
+// bit-for-bit.
+func batchRecords(t *testing.T, spec TraceSpec, hours int) [][]emul.HourRecord {
+	t.Helper()
+	cfg, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := emul.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]emul.HourRecord, 0, hours)
+	for i := 0; i < hours; i++ {
+		tick, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, stripRecords(tick.Records))
+	}
+	return out
+}
+
+// TestDaemonMatchesBatch is the tentpole's core acceptance: a 24-tick
+// streamed run re-plans warm on every tick (ColdFallbacks == 0 across the
+// whole lifetime, including the first cold-by-construction solve, which by
+// contract does not count) and produces records bit-identical to a batch
+// emul.Runner over the same trace.
+func TestDaemonMatchesBatch(t *testing.T) {
+	const hours = 24
+	spec := testSpec()
+	want := batchRecords(t, spec, hours)
+
+	d, err := New(Config{Trace: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hours; i++ {
+		view, err := d.Tick(TickRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Tick != i+1 {
+			t.Fatalf("tick %d: view.Tick = %d", i, view.Tick)
+		}
+		got := stripRecords(view.LastRecords)
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("tick %d record %d differs:\n  daemon=%+v\n  batch =%+v", i, j, got[j], want[i][j])
+			}
+		}
+		if view.Degraded {
+			t.Fatalf("tick %d degraded", i)
+		}
+		if len(view.TargetLoadKW) != len(view.Datacenters) {
+			t.Fatalf("tick %d: %d targets for %d datacenters", i, len(view.TargetLoadKW), len(view.Datacenters))
+		}
+	}
+	view := d.PlanView()
+	if view.CumLPStats.ColdFallbacks != 0 {
+		t.Fatalf("streamed run had %d cold fallbacks, want 0", view.CumLPStats.ColdFallbacks)
+	}
+	if view.CumLPStats.Pivots == 0 {
+		t.Fatal("no LP work recorded")
+	}
+	if view.Totals.DemandKWh <= 0 || view.Totals.GreenKWh <= 0 {
+		t.Fatalf("implausible totals: %+v", view.Totals)
+	}
+	if view.Resumed {
+		t.Fatal("fresh daemon claims it resumed")
+	}
+}
+
+// TestDaemonSnapshotResume is the other half of the acceptance: kill a
+// daemon mid-stream, restart it from its snapshot, and the resumed daemon
+// (a) reports a warm resume, (b) continues the tick stream bit-identically
+// to a daemon that was never stopped, and (c) never falls back cold.
+func TestDaemonSnapshotResume(t *testing.T) {
+	const hours, split = 24, 12
+	spec := testSpec()
+	snap := filepath.Join(t.TempDir(), "plan.snap")
+
+	// Reference daemon: runs all 24 ticks uninterrupted.
+	ref, err := New(Config{Trace: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refViews := make([]PlanView, 0, hours)
+	for i := 0; i < hours; i++ {
+		v, err := ref.Tick(TickRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refViews = append(refViews, v)
+	}
+
+	// First incarnation: 12 ticks, snapshot after each, then "crash" (drop
+	// the daemon on the floor; the snapshot is all that survives).
+	d1, err := New(Config{Trace: spec, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < split; i++ {
+		if _, err := d1.Tick(TickRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second incarnation: must resume warm from the snapshot.
+	d2, err := New(Config{Trace: spec, SnapshotPath: snap, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, warm := d2.Resumed()
+	if !resumed || !warm {
+		t.Fatalf("resumed=%v warm=%v, want true/true", resumed, warm)
+	}
+	view := d2.PlanView()
+	if view.Tick != split {
+		t.Fatalf("resumed at tick %d, want %d", view.Tick, split)
+	}
+	// The restored serving state must answer GET /plan exactly as the
+	// pre-crash daemon did.
+	wantView := refViews[split-1]
+	for j, rec := range stripRecords(view.LastRecords) {
+		if rec != stripRecords(wantView.LastRecords)[j] {
+			t.Fatalf("restored record %d differs", j)
+		}
+	}
+	if view.Totals != wantView.Totals {
+		t.Fatalf("restored totals %+v, want %+v", view.Totals, wantView.Totals)
+	}
+
+	// Continue to hour 24: every tick must match the uninterrupted
+	// reference bit-for-bit, and the first post-restart solve must be warm
+	// (zero cold fallbacks anywhere).
+	for i := split; i < hours; i++ {
+		v, err := d2.Tick(TickRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.LastLPStats.ColdFallbacks != 0 {
+			t.Fatalf("post-restart tick %d fell back cold", i)
+		}
+		got := stripRecords(v.LastRecords)
+		want := stripRecords(refViews[i].LastRecords)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("post-restart tick %d record %d differs:\n  resumed=%+v\n  ref    =%+v", i, j, got[j], want[j])
+			}
+		}
+		if v.Totals != refViews[i].Totals {
+			t.Fatalf("post-restart tick %d totals %+v, want %+v", i, v.Totals, refViews[i].Totals)
+		}
+	}
+	final := d2.PlanView()
+	if final.CumLPStats.ColdFallbacks != 0 {
+		t.Fatalf("resumed daemon had %d cold fallbacks, want 0", final.CumLPStats.ColdFallbacks)
+	}
+}
+
+// TestDaemonSnapshotCorruption: every damaged form of the snapshot is
+// rejected cleanly and the daemon starts cold from the trace beginning —
+// never half-restored, never an error out of New.
+func TestDaemonSnapshotCorruption(t *testing.T) {
+	spec := testSpec()
+	snap := filepath.Join(t.TempDir(), "plan.snap")
+	d1, err := New(Config{Trace: spec, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d1.Tick(TickRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := map[string][]byte{
+		"truncated":    good[:len(good)/2],
+		"bit-flipped":  append([]byte{}, good...),
+		"empty":        {},
+		"garbage":      []byte("not a snapshot at all\n"),
+		"wrong magic":  append([]byte("XXXXX"), good[5:]...),
+		"short header": []byte("GNPS1\n"),
+	}
+	corrupt["bit-flipped"][len(good)-8] ^= 0x40
+
+	for name, raw := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.snap")
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			logged := 0
+			d, err := New(Config{Trace: spec, SnapshotPath: path,
+				Logf: func(string, ...any) { logged++ }})
+			if err != nil {
+				t.Fatalf("New must fall back cold, got error: %v", err)
+			}
+			if logged == 0 {
+				t.Error("rejection was not logged")
+			}
+			if resumed, _ := d.Resumed(); resumed {
+				t.Fatal("daemon claims it resumed from a corrupt snapshot")
+			}
+			if v := d.PlanView(); v.Tick != 0 {
+				t.Fatalf("cold start at tick %d, want 0", v.Tick)
+			}
+			// The cold daemon must still plan correctly from hour zero.
+			v, err := d.Tick(TickRequest{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Tick != 1 || v.Degraded {
+				t.Fatalf("first cold tick: %+v", v)
+			}
+		})
+	}
+
+	// A snapshot for a different trace is refused by digest.
+	other := spec
+	other.VMs = 12
+	d, err := New(Config{Trace: other, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed, _ := d.Resumed(); resumed {
+		t.Fatal("daemon resumed a snapshot from a different trace")
+	}
+}
+
+// TestDaemonSnapshotWithScales: streamed weather survives the crash — the
+// resumed daemon re-applies the persisted scales and continues
+// bit-identically to an uninterrupted daemon fed the same updates.
+func TestDaemonSnapshotWithScales(t *testing.T) {
+	const hours, split = 12, 6
+	spec := testSpec()
+	cfg, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := cfg.Datacenters[0].Name
+	req := TickRequest{GreenScale: map[string]float64{scaled: 0.3}}
+
+	ref, err := New(Config{Trace: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refViews := make([]PlanView, 0, hours)
+	for i := 0; i < hours; i++ {
+		r := TickRequest{}
+		if i == 2 {
+			r = req
+		}
+		v, err := ref.Tick(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refViews = append(refViews, v)
+	}
+
+	snap := filepath.Join(t.TempDir(), "plan.snap")
+	d1, err := New(Config{Trace: spec, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < split; i++ {
+		r := TickRequest{}
+		if i == 2 {
+			r = req
+		}
+		if _, err := d1.Tick(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2, err := New(Config{Trace: spec, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d2.PlanView(); v.GreenScale[scaled] != 0.3 {
+		t.Fatalf("restored scales %v, want %s at 0.3", v.GreenScale, scaled)
+	}
+	for i := split; i < hours; i++ {
+		v, err := d2.Tick(TickRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stripRecords(v.LastRecords)
+		want := stripRecords(refViews[i].LastRecords)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("scaled resume tick %d record %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestDaemonShutdown: a cancelled context refuses ticks and what-ifs with
+// ErrShuttingDown — the clean-shutdown contract.
+func TestDaemonShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d, err := New(Config{Trace: testSpec(), Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tick(TickRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := d.Tick(TickRequest{}); err == nil {
+		t.Fatal("tick accepted after shutdown")
+	}
+	if _, err := d.WhatIf(WhatIfRequest{}); err == nil {
+		t.Fatal("what-if accepted after shutdown")
+	}
+}

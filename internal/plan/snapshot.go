@@ -1,0 +1,171 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"greencloud/internal/lp"
+)
+
+// ErrSnapshot wraps every snapshot decode/validation failure, so callers can
+// distinguish "no usable snapshot" (cold start) from infrastructure errors.
+var ErrSnapshot = errors.New("plan: invalid snapshot")
+
+// snapshotMagic versions the on-disk format.  The full layout is one header
+// line — magic, FNV-1a 64 checksum of the payload in hex, payload length in
+// bytes — followed by the JSON payload.  The checksum turns truncation and
+// bit rot into a clean ErrSnapshot instead of a half-restored daemon.
+const snapshotMagic = "GNPS1"
+
+// snapshotPayload is everything a restarted daemon needs to continue the
+// tick stream bit-identically: the trace identity (refuse foreign state),
+// the migration-schedule log (replayed to rebuild fleet/storage state
+// without LP work), the streamed weather scales in effect, the warm basis,
+// and the serving view.
+type snapshotPayload struct {
+	TraceDigest string             `json:"trace_digest"`
+	Ticks       int                `json:"ticks"`
+	Scales      map[string]float64 `json:"scales,omitempty"`
+	Moves       [][]moveRec        `json:"moves"`
+	Basis       []byte             `json:"basis,omitempty"` // lp.Basis.MarshalBinary, base64 via encoding/json
+	View        PlanView           `json:"view"`
+}
+
+// writeSnapshot persists the daemon's current state atomically (temp file +
+// rename in the destination directory).  Callers hold d.tickMu.
+func (d *Daemon) writeSnapshot(path string) error {
+	payload := snapshotPayload{
+		TraceDigest: d.cfg.Trace.Digest(),
+		Ticks:       d.runner.Ticks(),
+		Moves:       d.moveLog,
+		View:        d.PlanView(),
+	}
+	if payload.Moves == nil {
+		payload.Moves = [][]moveRec{}
+	}
+	if len(d.scales) > 0 {
+		payload.Scales = d.scales
+	}
+	if basis := d.runner.WarmBasis(); basis != nil {
+		enc, err := basis.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("plan: encode basis: %w", err)
+		}
+		payload.Basis = enc
+	}
+	body, err := json.Marshal(&payload)
+	if err != nil {
+		return err
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %016x %d\n", snapshotMagic, h.Sum64(), len(body))
+	buf.Write(body)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// decodeSnapshot parses and verifies raw snapshot bytes.
+func decodeSnapshot(raw []byte) (*snapshotPayload, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header", ErrSnapshot)
+	}
+	var magic string
+	var sum uint64
+	var n int
+	if _, err := fmt.Sscanf(string(raw[:nl]), "%s %x %d", &magic, &sum, &n); err != nil {
+		return nil, fmt.Errorf("%w: malformed header: %v", ErrSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic %q, want %q", ErrSnapshot, magic, snapshotMagic)
+	}
+	body := raw[nl+1:]
+	if len(body) != n {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrSnapshot, len(body), n)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshot)
+	}
+	var payload snapshotPayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if payload.Ticks != len(payload.Moves) {
+		return nil, fmt.Errorf("%w: %d ticks but %d recorded schedules",
+			ErrSnapshot, payload.Ticks, len(payload.Moves))
+	}
+	return &payload, nil
+}
+
+// resumeFromSnapshot restores the daemon from the snapshot at path: decode
+// and verify, replay the recorded migration schedules against the freshly
+// Started runner (rebuilding fleet and storage state deterministically with
+// zero LP work), install the persisted warm basis and serving view.  Any
+// error leaves restoration to the caller's cold-start fallback.
+func (d *Daemon) resumeFromSnapshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+		return err
+	}
+	payload, err := decodeSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	if got, want := payload.TraceDigest, d.cfg.Trace.Digest(); got != want {
+		return fmt.Errorf("%w: trace digest %s, daemon runs %s", ErrSnapshot, got, want)
+	}
+	var basis *lp.Basis
+	if len(payload.Basis) > 0 {
+		if basis, err = lp.DecodeBasis(payload.Basis); err != nil {
+			return fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+	}
+
+	// Scales first: replay must see the same streamed weather the recorded
+	// ticks ran under so realized-green records rebuild bit-identically.
+	for name, scale := range payload.Scales {
+		if err := d.runner.SetGreenScale(name, scale); err != nil {
+			return fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+	}
+	if err := d.replayLog(payload.Moves); err != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	d.runner.SetWarmBasis(basis)
+	d.moveLog = payload.Moves
+	d.scales = make(map[string]float64)
+	for name, scale := range payload.Scales {
+		d.scales[name] = scale
+	}
+	view := copyView(payload.View)
+	view.Resumed = true
+	view.WarmResume = basis != nil
+	view.SnapshotError = ""
+	d.view = view
+	return nil
+}

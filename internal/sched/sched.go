@@ -158,6 +158,18 @@ func New(opts Options) *Scheduler {
 // may carry over, the basis must not leak between independent runs.
 func (s *Scheduler) Reset() { s.basis = nil }
 
+// WarmBasis returns the partition LP basis carried from the last healthy
+// round, or nil when the scheduler would solve cold.  A continuous planner
+// persists it (lp.Basis.MarshalBinary) so a restarted process can resume
+// warm instead of cold.
+func (s *Scheduler) WarmBasis() *lp.Basis { return s.basis }
+
+// SetWarmBasis installs a basis — typically decoded from a snapshot with
+// lp.DecodeBasis — to warm-start the next Partition round.  A basis that no
+// longer matches the partition LP costs one silent cold fallback
+// (lp.SolveFrom's contract), never correctness.
+func (s *Scheduler) SetWarmBasis(b *lp.Basis) { s.basis = b }
+
 // Errors returned by the scheduler.
 var (
 	ErrNoDatacenters    = errors.New("sched: no datacenters")

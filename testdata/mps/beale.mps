@@ -1,0 +1,30 @@
+* Beale's classic cycling example (1955): the degenerate LP on which naive
+* Dantzig pricing cycles forever without an anti-cycling rule.  Public
+* domain textbook instance.
+*
+*   min -0.75 X1 + 150 X2 - 0.02 X3 + 6 X4
+*   s.t. 0.25 X1 - 60 X2 - 0.04 X3 + 9 X4 <= 0
+*        0.50 X1 - 90 X2 - 0.02 X3 + 3 X4 <= 0
+*                              X3          <= 1
+*        X >= 0
+*
+* Optimal: X = (0.04, 0, 1, 0), objective -0.05.
+NAME          BEALE
+ROWS
+ N  OBJ
+ L  R1
+ L  R2
+ L  R3
+COLUMNS
+    X1        OBJ       -0.75      R1        0.25
+    X1        R2        0.5
+    X2        OBJ       150.0      R1        -60.0
+    X2        R2        -90.0
+    X3        OBJ       -0.02      R1        -0.04
+    X3        R2        -0.02
+    X3        R3        1.0
+    X4        OBJ       6.0        R1        9.0
+    X4        R2        3.0
+RHS
+    RHS       R3        1.0
+ENDATA

@@ -1,0 +1,22 @@
+* Miniature Stigler-style diet problem: cheapest food mix meeting two
+* nutrient minimums.  Textbook formulation, public domain.
+*
+*   min 2 A + 3 B
+*   s.t.   A + 2 B >= 8   (protein)
+*        3 A +   B >= 9   (vitamins)
+*        A, B >= 0
+*
+* Optimal: A = 2, B = 3, objective 13.
+NAME          DIET
+ROWS
+ N  COST
+ G  PROT
+ G  VITA
+COLUMNS
+    A         COST      2.0        PROT      1.0
+    A         VITA      3.0
+    B         COST      3.0        PROT      2.0
+    B         VITA      1.0
+RHS
+    RHS       PROT      8.0        VITA      9.0
+ENDATA

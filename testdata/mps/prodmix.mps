@@ -1,0 +1,27 @@
+* Production-mix maximization with an upper-bounded variable: exercises
+* OBJSENSE MAX and the BOUNDS section.  Textbook formulation, public domain.
+*
+*   max 30 X + 20 Y
+*   s.t. 2 X +   Y <= 100   (machine hours)
+*          X +   Y <=  80   (labor hours)
+*          0 <= X <= 40, Y >= 0
+*
+* Optimal: X = 20, Y = 60, objective 1800 (the X bound is slack; duals
+* 10/10 on the two rows certify it).
+NAME          PRODMIX
+OBJSENSE
+    MAX
+ROWS
+ N  PROFIT
+ L  MACH
+ L  LABOR
+COLUMNS
+    X         PROFIT    30.0       MACH      2.0
+    X         LABOR     1.0
+    Y         PROFIT    20.0       MACH      1.0
+    Y         LABOR     1.0
+RHS
+    RHS       MACH      100.0      LABOR     80.0
+BOUNDS
+ UP BND       X         40.0
+ENDATA

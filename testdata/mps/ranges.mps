@@ -1,0 +1,25 @@
+* Interval-constraint instance: the RANGES section turns the G row into
+* 10 <= X + Y <= 15 and the L row into -4 <= X - Y <= 4, and the optimum
+* sits on the range-added upper bound of the G row.  Public domain.
+*
+*   min -X - Y
+*   s.t. 10 <= X + Y <= 15
+*        -4 <= X - Y <=  4
+*        X, Y >= 0
+*
+* Optimal: X = 9.5, Y = 5.5 (both interval bounds active), objective -15.
+NAME          RANGES
+ROWS
+ N  OBJ
+ G  BAND
+ L  DIFF
+COLUMNS
+    X         OBJ       -1.0       BAND      1.0
+    X         DIFF      1.0
+    Y         OBJ       -1.0       BAND      1.0
+    Y         DIFF      -1.0
+RHS
+    RHS       BAND      10.0       DIFF      4.0
+RANGES
+    RNG       BAND      5.0        DIFF      8.0
+ENDATA

@@ -1,0 +1,36 @@
+* Balanced Hitchcock transportation problem: two plants, three markets,
+* equality supply and demand rows.  Textbook formulation, public domain.
+*
+*   costs        M1  M2  M3   supply
+*     P1          4   6   8     200
+*     P2          5   4   7     300
+*   demand      150 250 100
+*
+* Optimal: P1->M1 150, P1->M3 50, P2->M2 250, P2->M3 50, objective 2350
+* (duals u = (0, -1), v = (4, 5, 8) price every lane out).
+NAME          TRANSPORT
+ROWS
+ N  COST
+ E  SUP1
+ E  SUP2
+ E  DEM1
+ E  DEM2
+ E  DEM3
+COLUMNS
+    X11       COST      4.0        SUP1      1.0
+    X11       DEM1      1.0
+    X12       COST      6.0        SUP1      1.0
+    X12       DEM2      1.0
+    X13       COST      8.0        SUP1      1.0
+    X13       DEM3      1.0
+    X21       COST      5.0        SUP2      1.0
+    X21       DEM1      1.0
+    X22       COST      4.0        SUP2      1.0
+    X22       DEM2      1.0
+    X23       COST      7.0        SUP2      1.0
+    X23       DEM3      1.0
+RHS
+    RHS       SUP1      200.0      SUP2      300.0
+    RHS       DEM1      150.0      DEM2      250.0
+    RHS       DEM3      100.0
+ENDATA
